@@ -1,0 +1,29 @@
+//! Regenerates Figure 10's finFET delay/spread curves and times the
+//! analytic and Monte-Carlo spread estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_stats::rng::Source;
+use ntc_stats::sweep::voltage_grid;
+use ntc_tech::card;
+use ntc_tech::inverter::Inverter;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inv14 = Inverter::fo4(&card::n14finfet());
+    let inv10 = Inverter::fo4(&card::n10gaa());
+    // The headline shape must hold before timing anything.
+    assert!(inv14.delay(0.5) / inv10.delay(0.5) > 1.6);
+    let grid = voltage_grid(0.25, 0.80, 50);
+    let mut g = c.benchmark_group("fig10");
+    g.bench_function("analytic_sweep", |b| {
+        b.iter(|| black_box(inv14.sweep(&grid).len() + inv10.sweep(&grid).len()))
+    });
+    g.bench_function("monte_carlo_point", |b| {
+        let mut src = Source::seeded(2);
+        b.iter(|| black_box(inv14.monte_carlo(0.4, 1000, &mut src)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

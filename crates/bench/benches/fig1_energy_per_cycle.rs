@@ -1,0 +1,30 @@
+//! Regenerates Figure 1's energy-per-cycle sweep and times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_memcalc::soc::SocEnergyModel;
+use ntc_stats::sweep::voltage_grid;
+use std::hint::black_box;
+
+fn sweep_total(model: &SocEnergyModel) -> f64 {
+    voltage_grid(0.40, 1.10, 10)
+        .into_iter()
+        .map(|v| model.operating_point(v).total_j())
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let cots = SocEnergyModel::exg_processor_40nm();
+    let cell = SocEnergyModel::exg_processor_cell_based_40nm();
+    // Sanity before timing: the curves must show the paper's shape.
+    assert!(cots.operating_point(0.5).leakage_j() > cots.operating_point(0.5).dynamic_j());
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("cots_sweep", |b| b.iter(|| black_box(sweep_total(&cots))));
+    g.bench_function("cell_based_sweep", |b| b.iter(|| black_box(sweep_total(&cell))));
+    g.bench_function("optimal_voltage", |b| {
+        b.iter(|| black_box(cots.optimal_voltage(0.4, 1.1, 71)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

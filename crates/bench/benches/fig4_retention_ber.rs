@@ -1,0 +1,39 @@
+//! Regenerates Figure 4's nine-die retention BER curve and times the die
+//! synthesis plus the probit fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_sram::diemap::{DieMap, DieMapConfig};
+use ntc_sram::failure::RetentionLaw;
+use ntc_stats::fit::probit_line_fit;
+use ntc_stats::rng::Source;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = DieMapConfig::new(64, 128, RetentionLaw::cell_based_40nm());
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("synthesize_die", |b| {
+        let mut src = Source::seeded(1);
+        b.iter(|| black_box(DieMap::synthesize(&cfg, &mut src)))
+    });
+    let dies = DieMap::synthesize_population(&cfg, 9, 4);
+    g.bench_function("population_ber_curve", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..12 {
+                let v = 0.14 + i as f64 * 0.02;
+                acc += DieMap::population_ber(&dies, v);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("probit_fit", |b| {
+        let law = RetentionLaw::cell_based_40nm();
+        let vs: Vec<f64> = (0..12).map(|i| 0.14 + i as f64 * 0.02).collect();
+        let ps: Vec<f64> = vs.iter().map(|&v| law.p_bit(v)).collect();
+        b.iter(|| black_box(probit_line_fit(&vs, &ps).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Figure 5's access-error curve: Monte-Carlo injection vs.
+//! the Eq. 5 law, and the power-law re-fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_sim::memory::FaultInjector;
+use ntc_sram::failure::AccessLaw;
+use ntc_stats::fit::fit_power_law;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let law = AccessLaw::cell_based_40nm();
+    let mut g = c.benchmark_group("fig5");
+    g.bench_function("mc_injection_10k_accesses", |b| {
+        let mut inj = FaultInjector::from_law(&law, 0.40, 9);
+        b.iter(|| {
+            let mut flips = 0u64;
+            for _ in 0..10_000 {
+                flips += inj.mask(32).count_ones() as u64;
+            }
+            black_box(flips)
+        })
+    });
+    g.bench_function("power_law_fit", |b| {
+        let vs: Vec<f64> = (0..20).map(|i| 0.30 + i as f64 * 0.012).collect();
+        let ps: Vec<f64> = vs.iter().map(|&v| law.p_bit(v)).collect();
+        b.iter(|| black_box(fit_power_law(&vs, &ps, (0.555, 0.65)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Figure 8 (at reduced FFT size for iteration speed) and
+//! checks the savings ordering before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::experiments::{run_experiment, ExperimentConfig, MitigationPolicy, Workload};
+use std::hint::black_box;
+
+fn run(policy: MitigationPolicy, vdd: f64) -> f64 {
+    let cfg = ExperimentConfig {
+        workload: Workload::Fft { n: 128 },
+        ..ExperimentConfig::cell_based(policy, vdd, 290e3)
+    };
+    run_experiment(&cfg).total_power_w()
+}
+
+fn bench(c: &mut Criterion) {
+    // Shape gate before timing: OCEAN < ECC < no mitigation.
+    let p_none = run(MitigationPolicy::NoMitigation, 0.55);
+    let p_ecc = run(MitigationPolicy::Secded, 0.44);
+    let p_ocean = run(MitigationPolicy::Ocean, 0.33);
+    assert!(p_ocean < p_ecc && p_ecc < p_none);
+
+    let mut g = c.benchmark_group("fig8_290khz");
+    g.sample_size(10);
+    g.bench_function("no_mitigation", |b| {
+        b.iter(|| black_box(run(MitigationPolicy::NoMitigation, 0.55)))
+    });
+    g.bench_function("secded", |b| b.iter(|| black_box(run(MitigationPolicy::Secded, 0.44))));
+    g.bench_function("ocean", |b| b.iter(|| black_box(run(MitigationPolicy::Ocean, 0.33))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Figure 9 (at reduced FFT size for iteration speed) and
+//! checks the savings ordering before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::experiments::{run_experiment, ExperimentConfig, MitigationPolicy, Workload};
+use std::hint::black_box;
+
+fn run(policy: MitigationPolicy, vdd: f64) -> f64 {
+    let cfg = ExperimentConfig {
+        workload: Workload::Fft { n: 128 },
+        ..ExperimentConfig::commercial(policy, vdd, 11e6)
+    };
+    run_experiment(&cfg).total_power_w()
+}
+
+fn bench(c: &mut Criterion) {
+    let p_none = run(MitigationPolicy::NoMitigation, 0.88);
+    let p_ecc = run(MitigationPolicy::Secded, 0.77);
+    let p_ocean = run(MitigationPolicy::Ocean, 0.66);
+    assert!(p_ocean < p_ecc && p_ecc < p_none);
+
+    let mut g = c.benchmark_group("fig9_11mhz");
+    g.sample_size(10);
+    g.bench_function("no_mitigation", |b| {
+        b.iter(|| black_box(run(MitigationPolicy::NoMitigation, 0.88)))
+    });
+    g.bench_function("secded", |b| b.iter(|| black_box(run(MitigationPolicy::Secded, 0.77))));
+    g.bench_function("ocean", |b| b.iter(|| black_box(run(MitigationPolicy::Ocean, 0.66))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Table 1 and times the memory calculator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_memcalc::designs::{computed_rows, published_rows};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate: anchors within 10 %.
+    for (p, q) in published_rows().iter().zip(&computed_rows()) {
+        assert!((q.dyn_energy_pj.0 / p.dyn_energy_pj.0 - 1.0).abs() < 0.10);
+    }
+    c.bench_function("table1/computed_rows", |b| b.iter(|| black_box(computed_rows())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

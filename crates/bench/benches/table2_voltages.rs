@@ -1,0 +1,23 @@
+//! Regenerates Table 2 and times the FIT solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::fit::{paper_platform_f_max, FitSolver, Scheme, VoltageGrid};
+use ntc_sram::failure::AccessLaw;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let solver =
+        FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
+    assert_eq!(solver.min_voltage(Scheme::Ocean), 0.33);
+    let mut g = c.benchmark_group("table2");
+    g.bench_function("error_constrained", |b| {
+        b.iter(|| black_box(solver.error_constrained_voltage(Scheme::Secded)))
+    });
+    g.bench_function("full_row_with_performance", |b| {
+        b.iter(|| black_box(solver.table_row(1.96e6, paper_platform_f_max)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

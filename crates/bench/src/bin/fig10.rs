@@ -1,0 +1,53 @@
+//! Figure 10: inverter delay in finFETs — mean delay and sigma spread vs.
+//! supply for the 14 nm finFET and 10 nm multi-gate nodes.
+
+use ntc_bench::compare_line;
+use ntc_stats::hist::Histogram;
+use ntc_stats::rng::Source;
+use ntc_stats::sweep::voltage_grid;
+use ntc_tech::card;
+use ntc_tech::inverter::Inverter;
+
+fn main() {
+    let inv14 = Inverter::fo4(&card::n14finfet());
+    let inv10 = Inverter::fo4(&card::n10gaa());
+    println!("Figure 10 — inverter delay in finFETs\n");
+    println!(
+        "{:>6} | {:>12} {:>9} | {:>12} {:>9} | {:>8}",
+        "VDD", "14nm mean", "σ/µ", "10nm mean", "σ/µ", "speedup"
+    );
+    let mut src = Source::seeded(10);
+    for vdd in voltage_grid(0.25, 0.80, 50) {
+        let p14 = inv14.monte_carlo(vdd, 4000, &mut src);
+        let p10 = inv10.monte_carlo(vdd, 4000, &mut src);
+        println!(
+            "{:>5.2}V | {:>10.2}ps {:>8.1}% | {:>10.2}ps {:>8.1}% | {:>7.2}x",
+            vdd,
+            p14.mean * 1e12,
+            100.0 * p14.sigma / p14.mean,
+            p10.mean * 1e12,
+            100.0 * p10.sigma / p10.mean,
+            p14.mean / p10.mean
+        );
+    }
+    // The sigma-spread panel: delay distribution at one NTV point.
+    let vdd = 0.4;
+    let mean14 = inv14.delay(vdd);
+    let mut h = Histogram::new(0.0, 3.0 * mean14, 30);
+    let mut src2 = Source::seeded(77);
+    for _ in 0..20_000 {
+        h.push(inv14.delay_shifted(vdd, src2.normal(0.0, inv14.sigma_vth())));
+    }
+    println!("\n14nm delay distribution at {vdd} V (s):\n{h}");
+
+    println!();
+    println!(
+        "{}",
+        compare_line(
+            "14nm -> 10nm speedup (near threshold)",
+            2.0,
+            inv14.delay(0.5) / inv10.delay(0.5),
+            "x"
+        )
+    );
+}

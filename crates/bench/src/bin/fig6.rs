@@ -1,0 +1,23 @@
+//! Figure 6: the evaluated architecture — printed as a configuration
+//! summary of the simulated platform (core, IM, SP, bus/DMA, and the
+//! OCEAN additions the paper circles in red: protected memory + runtime).
+
+use ntc_sim::dma::Dma;
+use ntc_sim::platform::{PlatformConfig, Protection};
+
+fn main() {
+    let cfg = PlatformConfig::mparm_like(0.44, 290e3, Protection::Secded)
+        .with_protected_buffer(1536);
+    println!("Figure 6 — simulated platform configuration\n");
+    println!("core : 32-bit RISC (ARM9-class timing), {} pJ/cycle @ {} V,", cfg.core_e_ref * 1e12, cfg.vref);
+    println!("       {} µW leakage @ {} V", cfg.core_leak_ref * 1e6, cfg.vref);
+    println!("IM   : {} ({:.1} KB), {:.2} pJ/access @1.1 V", cfg.im.organization(), cfg.im.organization().kib(), cfg.im.access_energy(1.1) * 1e12);
+    println!("SP   : {} ({:.1} KB), {:.2} pJ/access @1.1 V", cfg.sp.organization(), cfg.sp.organization().kib(), cfg.sp.access_energy(1.1) * 1e12);
+    if let Some(pm) = &cfg.pm {
+        println!("PM   : {} (OCEAN protected buffer, (57,32) quad BCH)", pm.organization());
+    }
+    let dma = Dma::figure6_default();
+    println!("DMA  : {dma}");
+    println!("\nprotection of the scratchpad at this operating point: {:?}", cfg.protection);
+    println!("operating point: {} V, {} kHz", cfg.vdd, cfg.frequency_hz / 1e3);
+}

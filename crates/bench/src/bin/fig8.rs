@@ -1,0 +1,39 @@
+//! Figure 8: power consumption at 290 kHz (cell-based memory) under the
+//! three mitigation policies, split per module.
+
+use ntc::experiments::figure8;
+use ntc_bench::compare_line;
+
+fn main() {
+    println!("Figure 8 — power at 290 kHz, 1K-point FFT, cell-based memory\n");
+    println!(
+        "{:<16} {:>6} {:>11} {:>11} {:>11} {:>7} {:>8}",
+        "policy", "VDD", "dyn [µW]", "leak [µW]", "total [µW]", "exact", "repairs"
+    );
+    let rows = figure8();
+    for r in &rows {
+        println!(
+            "{:<16} {:>4.2} V {:>11.4} {:>11.4} {:>11.4} {:>7} {:>8}",
+            r.policy.to_string(),
+            r.vdd,
+            r.dynamic_power_w() * 1e6,
+            (r.total_power_w() - r.dynamic_power_w()) * 1e6,
+            r.total_power_w() * 1e6,
+            if r.is_exact() { "yes" } else { "NO" },
+            r.repaired
+        );
+        for m in &r.modules {
+            println!(
+                "   {:<13} {:>18.4} {:>11.4}",
+                m.name,
+                m.dynamic_w * 1e6,
+                m.leakage_w * 1e6
+            );
+        }
+    }
+    let s_none = 1.0 - rows[2].total_power_w() / rows[0].total_power_w();
+    let s_ecc = 1.0 - rows[2].total_power_w() / rows[1].total_power_w();
+    println!();
+    println!("{}", compare_line("OCEAN vs no-mitigation saving", 70.0, s_none * 100.0, "%"));
+    println!("{}", compare_line("OCEAN vs ECC saving", 48.0, s_ecc * 100.0, "%"));
+}

@@ -1,0 +1,36 @@
+//! Figure 9: power consumption at 11 MHz (commercial memory regime,
+//! 0.88 / 0.77 / 0.66 V) under the three mitigation policies.
+
+use ntc::experiments::{figure8, figure9};
+use ntc_bench::compare_line;
+
+fn main() {
+    println!("Figure 9 — power at 11 MHz, 1K-point FFT, commercial memory\n");
+    println!(
+        "{:<16} {:>6} {:>11} {:>11} {:>11} {:>7} {:>8}",
+        "policy", "VDD", "dyn [µW]", "leak [µW]", "total [µW]", "exact", "repairs"
+    );
+    let rows = figure9();
+    for r in &rows {
+        println!(
+            "{:<16} {:>4.2} V {:>11.4} {:>11.4} {:>11.4} {:>7} {:>8}",
+            r.policy.to_string(),
+            r.vdd,
+            r.dynamic_power_w() * 1e6,
+            (r.total_power_w() - r.dynamic_power_w()) * 1e6,
+            r.total_power_w() * 1e6,
+            if r.is_exact() { "yes" } else { "NO" },
+            r.repaired
+        );
+    }
+    let s_none = 1.0 - rows[2].total_power_w() / rows[0].total_power_w();
+    let s_ecc = 1.0 - rows[2].total_power_w() / rows[1].total_power_w();
+    println!();
+    println!("{}", compare_line("OCEAN vs no-mitigation saving", 34.0, s_none * 100.0, "%"));
+    println!("{}", compare_line("OCEAN vs ECC saving", 26.0, s_ecc * 100.0, "%"));
+    let f8 = figure8();
+    println!(
+        "power ratio 11 MHz / 290 kHz (no-mit): {:.1}x  (paper: one order of magnitude)",
+        rows[0].total_power_w() / f8[0].total_power_w()
+    );
+}

@@ -1,0 +1,37 @@
+//! The abstract's headline numbers, measured on this reproduction:
+//! "saving energy up to 2x compared to the traditional ECC approaches,
+//! and 3x compared to no mitigation … a 3.3x lower dynamic power is
+//! achieved beyond the voltage limit for error free operation."
+
+use ntc::experiments::headline;
+use ntc_bench::compare_line;
+
+fn main() {
+    let h = headline();
+    println!("Headline claims vs this reproduction\n");
+    println!(
+        "{}",
+        compare_line("OCEAN vs none saving @290 kHz", 70.0, h.ocean_vs_none_290khz * 100.0, "%")
+    );
+    println!(
+        "{}",
+        compare_line("OCEAN vs ECC saving @290 kHz", 48.0, h.ocean_vs_ecc_290khz * 100.0, "%")
+    );
+    println!(
+        "{}",
+        compare_line("OCEAN vs none saving @11 MHz", 34.0, h.ocean_vs_none_11mhz * 100.0, "%")
+    );
+    println!(
+        "{}",
+        compare_line("OCEAN vs ECC saving @11 MHz", 26.0, h.ocean_vs_ecc_11mhz * 100.0, "%")
+    );
+    println!(
+        "{}",
+        compare_line("dynamic power gain beyond V0", 3.3, h.dynamic_power_gain, "x")
+    );
+    println!(
+        "\nenergy ratios: no-mit/OCEAN = {:.2}x (paper: ~3x), ECC/OCEAN = {:.2}x (paper: ~2x)",
+        1.0 / (1.0 - h.ocean_vs_none_290khz),
+        1.0 / (1.0 - h.ocean_vs_ecc_290khz)
+    );
+}

@@ -1,0 +1,56 @@
+//! Workload profiler: instruction mix, memory traffic and the OCEAN phase
+//! plan for the two streaming kernels.
+//!
+//! ```text
+//! cargo run --release -p ntc-bench --bin profile [fft_n]
+//! ```
+
+use ntc_ocean::planning::planned_phase_count;
+use ntc_sim::asm::assemble;
+use ntc_sim::fft::{fft_program, random_input, scratchpad_words, twiddle_table};
+use ntc_sim::fir;
+use ntc_sim::memory::RawMemory;
+use ntc_sim::profile::profile;
+use ntc_sram::failure::AccessLaw;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+
+    // --- FFT ---
+    let program = assemble(&fft_program(n)).expect("kernel assembles");
+    let mut mem = RawMemory::new(scratchpad_words(n).next_power_of_two());
+    for (i, &w) in random_input(n, 1)
+        .iter()
+        .chain(twiddle_table(n).iter())
+        .enumerate()
+    {
+        mem.store(i, w);
+    }
+    let p = profile(&program, &mut mem, u64::MAX).expect("error-free run");
+    println!("=== {n}-point FFT ===");
+    print!("{p}");
+    let law = AccessLaw::cell_based_40nm();
+    for vdd in [0.50, 0.44, 0.40, 0.36, 0.33] {
+        let plan = planned_phase_count(&p, scratchpad_words(n) as u32, &law, vdd, 512)
+            .expect("plan solvable");
+        println!("  optimal phases at {vdd:.2} V: {plan}");
+    }
+
+    // --- FIR ---
+    let (sn, taps, block) = (256, 16, 32);
+    let program = assemble(&fir::fir_program(sn, taps, block)).expect("kernel assembles");
+    let mut mem = RawMemory::new(fir::scratchpad_words(sn, taps).next_power_of_two());
+    for (i, &x) in fir::random_signal(sn, 2)
+        .iter()
+        .chain(fir::moving_average_taps(taps).iter())
+        .enumerate()
+    {
+        mem.store(i, x as u32);
+    }
+    let p = profile(&program, &mut mem, u64::MAX).expect("error-free run");
+    println!("\n=== {sn}-sample, {taps}-tap FIR (block {block}) ===");
+    print!("{p}");
+}

@@ -1,0 +1,36 @@
+//! Table 2: minimum voltage per mitigation scheme to hold FIT ≤ 1e-15,
+//! for both evaluated frequencies, plus the exact (pre-grid) solutions.
+
+use ntc::fit::{paper_platform_f_max, FitSolver, VoltageGrid};
+use ntc_sram::failure::AccessLaw;
+
+fn main() {
+    let solver =
+        FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
+    println!("Table 2 — minimum voltage for FIT ≤ 1e-15 (cell-based memory)\n");
+    println!(
+        "{:<12} {:>16} {:>14} {:>14}",
+        "frequency", "No mitigation", "ECC", "OCEAN"
+    );
+    for (label, f) in [("290 kHz", 290e3), ("1.96 MHz", 1.96e6)] {
+        let row = solver.table_row(f, paper_platform_f_max);
+        println!(
+            "{:<12} {:>15.2}V {:>13.2}V {:>13.2}V",
+            label, row[0].operating, row[1].operating, row[2].operating
+        );
+        println!(
+            "{:<12} {:>15.3}V {:>13.3}V {:>13.3}V   (exact, error-only)",
+            "", row[0].error_constrained, row[1].error_constrained, row[2].error_constrained
+        );
+    }
+    println!("\npaper: 290 kHz -> 0.55 / 0.44 / 0.33 V; 1.96 MHz -> 0.55 / 0.44 / 0.44 V");
+
+    // The Figure 9 voltages fall out of the same solver on the commercial law.
+    let commercial =
+        FitSolver::new(AccessLaw::commercial_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
+    let row = commercial.table_row(11e6, paper_platform_f_max);
+    println!(
+        "\ncommercial law @ 11 MHz: {:.2} / {:.2} / {:.2} V   (paper: 0.88 / 0.77 / 0.66 V)",
+        row[0].operating, row[1].operating, row[2].operating
+    );
+}

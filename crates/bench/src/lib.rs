@@ -1,0 +1,71 @@
+//! Shared helpers for the table/figure regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every published table and figure has two regeneration paths:
+//!
+//! * a binary (`cargo run --release -p ntc-bench --bin fig8`) that prints
+//!   the same rows/series the paper reports, annotated with the paper's
+//!   values where they are quoted; and
+//! * a Criterion bench (`cargo bench -p ntc-bench --bench fig8_power_290khz`)
+//!   that times the regeneration, so performance regressions in the models
+//!   are caught alongside correctness regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Formats a paper-vs-measured comparison line.
+///
+/// # Example
+///
+/// ```
+/// let line = ntc_bench::compare_line("OCEAN @290kHz savings", 0.7, 0.66, "%");
+/// assert!(line.contains("paper"));
+/// ```
+pub fn compare_line(label: &str, paper: f64, measured: f64, unit: &str) -> String {
+    format!(
+        "{label:<38} paper {paper:>8.3} {unit:<3} measured {measured:>8.3} {unit}",
+    )
+}
+
+/// Renders a simple ASCII series (for figure-like output in terminals).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn ascii_series(title: &str, points: &[(f64, f64)], width: usize) -> String {
+    assert!(!points.is_empty(), "series must have points");
+    let max = points
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::MIN, f64::max)
+        .max(1e-300);
+    let mut out = format!("{title}\n");
+    for &(x, y) in points {
+        let bar = ((y / max) * width as f64).round() as usize;
+        out.push_str(&format!("{x:>8.3} | {:<width$} {y:.3e}\n", "#".repeat(bar)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_line_contains_both_numbers() {
+        let l = compare_line("x", 1.5, 2.5, "V");
+        assert!(l.contains("1.500") && l.contains("2.500"));
+    }
+
+    #[test]
+    fn ascii_series_has_one_line_per_point() {
+        let s = ascii_series("t", &[(0.1, 1.0), (0.2, 2.0)], 10);
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "points")]
+    fn ascii_series_rejects_empty() {
+        ascii_series("t", &[], 10);
+    }
+}

@@ -1,0 +1,159 @@
+//! Single-parity error detection (EDC) — the cheapest detection scheme,
+//! used as the baseline in the detection-strength ablation.
+//!
+//! One even-parity bit per word detects any odd number of flips and
+//! *misses every even-count error*. Against the SECDED-based detect-only
+//! scheme (`ntc-ocean`), parity costs a 33/32 bit factor instead of 39/32
+//! and a 31-XOR tree instead of ~96 — but its silent-corruption
+//! probability is `P(2 of 33)` instead of the vastly smaller aliasing
+//! probability of a distance-4 code, which is what rules it out for the
+//! paper's FIT target.
+
+use std::fmt;
+
+/// Even-parity code over a fixed data width.
+///
+/// # Example
+///
+/// ```
+/// use ntc_ecc::parity::Parity;
+///
+/// let code = Parity::new(32);
+/// let stored = code.encode(0xDEAD_BEEF);
+/// assert_eq!(code.decode(stored), Some(0xDEAD_BEEF));
+/// // One flip: detected.
+/// assert_eq!(code.decode(stored ^ 1), None);
+/// // Two flips: silently accepted — the scheme's fundamental weakness.
+/// assert!(code.decode(stored ^ 0b11).is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parity {
+    data_bits: u32,
+}
+
+impl Parity {
+    /// Creates a parity code over `data_bits` (1 ..= 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is zero or above 64.
+    pub fn new(data_bits: u32) -> Self {
+        assert!(
+            (1..=64).contains(&data_bits),
+            "data width must be in 1..=64, got {data_bits}"
+        );
+        Self { data_bits }
+    }
+
+    /// Data width in bits.
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Stored width (`data_bits + 1`).
+    pub fn codeword_bits(&self) -> u32 {
+        self.data_bits + 1
+    }
+
+    /// Encodes: parity bit in position `data_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has bits set above the data width.
+    pub fn encode(&self, data: u64) -> u128 {
+        assert!(
+            self.data_bits == 64 || data < (1u64 << self.data_bits),
+            "data word wider than {} bits",
+            self.data_bits
+        );
+        let p = (data.count_ones() & 1) as u128;
+        (data as u128) | (p << self.data_bits)
+    }
+
+    /// Decodes: `Some(data)` if parity checks, `None` if an odd error
+    /// count was detected. Even error counts pass silently.
+    pub fn decode(&self, stored: u128) -> Option<u64> {
+        let total_ones = stored.count_ones();
+        if total_ones & 1 != 0 {
+            return None;
+        }
+        Some((stored & ((1u128 << self.data_bits) - 1)) as u64)
+    }
+
+    /// Number of two-input XOR gates in the parity tree.
+    pub fn xor_count(&self) -> u32 {
+        self.data_bits - 1
+    }
+}
+
+impl fmt::Display for Parity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{}) even parity", self.codeword_bits(), self.data_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_geometry() {
+        let c = Parity::new(32);
+        assert_eq!(c.codeword_bits(), 33);
+        assert_eq!(c.xor_count(), 31);
+        for data in [0u64, 1, 0xFFFF_FFFF, 0x8000_0001] {
+            assert_eq!(c.decode(c.encode(data)), Some(data));
+        }
+    }
+
+    #[test]
+    fn detects_all_odd_error_counts_exhaustively() {
+        let c = Parity::new(16);
+        let cw = c.encode(0xBEEF);
+        for a in 0..17u32 {
+            assert_eq!(c.decode(cw ^ (1 << a)), None, "single at {a}");
+            for b in (a + 1)..17 {
+                for d in (b + 1)..17 {
+                    assert_eq!(
+                        c.decode(cw ^ (1 << a) ^ (1 << b) ^ (1 << d)),
+                        None,
+                        "triple at {a},{b},{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn misses_all_double_errors_exhaustively() {
+        // The documented weakness, verified exhaustively: every 2-bit
+        // pattern passes the check (and corrupts data silently unless both
+        // flips hit the parity bit… which is impossible for 2 distinct).
+        let c = Parity::new(16);
+        let cw = c.encode(0x1234);
+        for a in 0..17u32 {
+            for b in (a + 1)..17 {
+                assert!(c.decode(cw ^ (1 << a) ^ (1 << b)).is_some(), "{a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_64() {
+        let c = Parity::new(64);
+        let cw = c.encode(u64::MAX);
+        assert_eq!(c.decode(cw), Some(u64::MAX));
+        assert_eq!(c.decode(cw ^ (1 << 64)), None, "parity-bit flip detected");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_zero_width() {
+        Parity::new(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Parity::new(32).to_string(), "(33,32) even parity");
+    }
+}

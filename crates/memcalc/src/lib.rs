@@ -1,0 +1,53 @@
+//! Analytical memory and SoC energy calculator — the workspace's CACTI.
+//!
+//! The paper estimates platform power with CACTI calibrated against an
+//! internal 40 nm memory database (the absolute commercial figures being
+//! confidential). This crate plays that role: closed-form energy, leakage,
+//! area and timing models calibrated against the *published* anchors —
+//! Table 1's macro comparison and Figure 1's energy-per-cycle curves.
+//!
+//! * [`instance`] — [`MemoryMacro`]: a memory instance of a given
+//!   [`ntc_sram::CellStyle`] and organization, answering
+//!   `access_energy(vdd)`, `leakage_power(vdd)`, `f_max(vdd)`,
+//!   `area_mm2()`, with quadratic dynamic-energy scaling (the scaling the
+//!   paper's own Table 1 reduced-voltage rows follow) and DIBL-driven
+//!   leakage scaling.
+//! * [`soc`] — [`soc::SocEnergyModel`]: a component-level
+//!   energy-per-cycle model of a processor platform, including the
+//!   commercial-memory supply floor that produces Figure 1's
+//!   memory-energy flattening below 0.7 V, and the platform `f_max(vdd)`
+//!   anchored to the paper's "290 kHz at the lowest voltage".
+//! * [`designs`] — the four Table 1 designs with their published figures
+//!   and the scaling footnotes applied.
+//!
+//! # Example
+//!
+//! ```
+//! use ntc_memcalc::instance::{MemoryMacro, MemoryOrganization};
+//! use ntc_sram::CellStyle;
+//! use ntc_tech::card;
+//!
+//! # fn main() -> Result<(), ntc_memcalc::instance::MacroError> {
+//! // The paper's 1k x 32b reference instance, cell-based AOI style.
+//! let mem = MemoryMacro::new(
+//!     CellStyle::CellBasedAoi,
+//!     MemoryOrganization::new(1024, 32)?,
+//!     card::n40lp(),
+//! );
+//! // Table 1 anchor: 1.4 pJ per access at 1.1 V…
+//! assert!((mem.access_energy(1.1) / 1.4e-12 - 1.0).abs() < 0.01);
+//! // …and 0.18 pJ at 0.4 V (quadratic scaling).
+//! assert!((mem.access_energy(0.4) / 0.18e-12 - 1.0).abs() < 0.03);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod designs;
+pub mod instance;
+pub mod soc;
+
+pub use instance::{MemoryMacro, MemoryOrganization};
+pub use soc::SocEnergyModel;

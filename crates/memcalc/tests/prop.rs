@@ -1,0 +1,99 @@
+//! Property tests for the memory calculator and SoC model.
+
+use ntc_memcalc::instance::{MemoryMacro, MemoryOrganization};
+use ntc_memcalc::soc::{SocComponent, SocEnergyModel};
+use ntc_sram::styles::CellStyle;
+use ntc_tech::card;
+use proptest::prelude::*;
+
+fn any_style() -> impl Strategy<Value = CellStyle> {
+    prop::sample::select(CellStyle::ALL.to_vec())
+}
+
+fn macro_for(style: CellStyle, words: u32, bpw: u32) -> MemoryMacro {
+    let tech = match style {
+        CellStyle::CellBasedLatch65 => card::n65lp(),
+        _ => card::n40lp(),
+    };
+    MemoryMacro::new(style, MemoryOrganization::new(words, bpw).unwrap(), tech)
+}
+
+proptest! {
+    /// Dynamic energy is exactly quadratic in voltage for every style and
+    /// organization.
+    #[test]
+    fn energy_quadratic(
+        style in any_style(),
+        words in 64u32..8192,
+        bpw in prop::sample::select(vec![8u32, 16, 32, 64]),
+        v1 in 0.2f64..1.2,
+        v2 in 0.2f64..1.2,
+    ) {
+        let m = macro_for(style, words, bpw);
+        let want = (v2 / v1).powi(2);
+        let got = m.access_energy(v2) / m.access_energy(v1);
+        prop_assert!((got / want - 1.0).abs() < 1e-9);
+    }
+
+    /// Leakage scales linearly with capacity.
+    #[test]
+    fn leakage_linear_in_bits(style in any_style(), words in 64u32..4096, v in 0.3f64..1.1) {
+        let small = macro_for(style, words, 32);
+        let big = macro_for(style, words * 2, 32);
+        let ratio = big.leakage_power(v) / small.leakage_power(v);
+        prop_assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    /// f_max is monotone increasing in supply for every style.
+    #[test]
+    fn fmax_monotone(style in any_style(), v1 in 0.25f64..1.2, v2 in 0.25f64..1.2) {
+        prop_assume!(v1 < v2);
+        let m = macro_for(style, 1024, 32);
+        prop_assert!(m.f_max(v1) < m.f_max(v2));
+    }
+
+    /// cycle_time is the reciprocal of f_max.
+    #[test]
+    fn cycle_time_reciprocal(style in any_style(), v in 0.3f64..1.1) {
+        let m = macro_for(style, 1024, 32);
+        prop_assert!((m.cycle_time(v) * m.f_max(v) - 1.0).abs() < 1e-12);
+    }
+
+    /// Retention power stays below active leakage at the same voltage.
+    #[test]
+    fn retention_below_active(style in any_style(), v in 0.2f64..1.1) {
+        let m = macro_for(style, 1024, 32);
+        prop_assert!(m.retention_power(v) < m.leakage_power(v));
+    }
+
+    /// The SoC operating point decomposes consistently: total = Σ parts,
+    /// power = energy × frequency.
+    #[test]
+    fn soc_decomposition(v in 0.45f64..1.1) {
+        let soc = SocEnergyModel::exg_processor_40nm();
+        let pt = soc.operating_point(v);
+        let sum: f64 = pt.components.iter().map(|c| c.total_j()).sum();
+        prop_assert!((pt.total_j() - sum).abs() < 1e-18);
+        prop_assert!((pt.power_w() - pt.total_j() * pt.frequency).abs() < 1e-15);
+    }
+
+    /// Running below f_max only increases the leakage share, never the
+    /// dynamic energy per cycle.
+    #[test]
+    fn slower_clock_same_dynamic(v in 0.5f64..1.1, divider in 1.5f64..100.0) {
+        let soc = SocEnergyModel::exg_processor_40nm();
+        let fast = soc.operating_point(v);
+        let slow = soc.operating_point_at(v, soc.f_max(v) / divider);
+        prop_assert!((fast.dynamic_j() - slow.dynamic_j()).abs() < 1e-18);
+        prop_assert!(slow.leakage_j() > fast.leakage_j());
+    }
+
+    /// A supply floor can only increase a component's energy relative to
+    /// the unconstrained case.
+    #[test]
+    fn floor_never_helps(v in 0.3f64..1.1, floor in 0.4f64..0.9) {
+        let free = SocComponent::new("m", 10e-12, 1.0, 1e-6);
+        let pinned = SocComponent::new("m", 10e-12, 1.0, 1e-6).with_supply_floor(floor);
+        prop_assert!(pinned.effective_supply(v) >= free.effective_supply(v));
+    }
+}

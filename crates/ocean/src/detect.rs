@@ -1,0 +1,190 @@
+//! Detect-only scratchpad backend: OCEAN's working memory.
+//!
+//! Words are stored as (39,32) Hsiao codewords exactly like the SECDED
+//! backend, but the read path only runs the syndrome tree: *any* nonzero
+//! syndrome raises a fault, and the runtime recovers from the protected
+//! buffer instead of correcting in place. This trades the corrector
+//! network's energy (paid on every read in a SECDED design) for recovery
+//! work paid only when an error actually occurs — the core of OCEAN's
+//! energy advantage at matched voltage.
+
+use ntc_ecc::secded::Secded;
+use ntc_sim::memory::{DataPort, FaultInjector, MemoryFault};
+
+/// Error-detecting (not correcting) scratchpad.
+///
+/// # Example
+///
+/// ```
+/// use ntc_ocean::DetectOnlyMemory;
+/// use ntc_sim::memory::DataPort;
+///
+/// let mut m = DetectOnlyMemory::new(64);
+/// m.write(3, 1234).unwrap();
+/// assert_eq!(m.read(3).unwrap(), 1234);
+/// // Even a single flipped bit is flagged instead of silently corrected.
+/// m.corrupt(3, 0b1);
+/// assert!(m.read(3).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectOnlyMemory {
+    code: Secded,
+    data: Vec<u64>,
+    injector: FaultInjector,
+    detected: u64,
+}
+
+impl DetectOnlyMemory {
+    /// An error-free detect-only memory of `words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn new(words: usize) -> Self {
+        assert!(words > 0, "memory must have at least one word");
+        let code = Secded::new(32).expect("32-bit SECDED is constructible");
+        Self {
+            data: vec![code.encode(0) as u64; words],
+            code,
+            injector: FaultInjector::disabled(),
+            detected: 0,
+        }
+    }
+
+    /// Attaches a fault injector.
+    #[must_use]
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Number of reads that detected an error.
+    pub fn detected(&self) -> u64 {
+        self.detected
+    }
+
+    /// Host-side write (no faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index` is out of range.
+    pub fn store(&mut self, word_index: usize, value: u32) {
+        self.data[word_index] = self.code.encode(value as u64) as u64;
+    }
+
+    /// Host-side read through the syndrome check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault`] if the stored word has a nonzero syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index` is out of range.
+    pub fn load(&self, word_index: usize) -> Result<u32, MemoryFault> {
+        let cw = self.data[word_index] as u128;
+        if self.code.syndrome(cw) != 0 {
+            return Err(MemoryFault { word_index });
+        }
+        Ok((cw & 0xFFFF_FFFF) as u32)
+    }
+
+    /// XORs `mask` into the stored codeword (test hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index` is out of range.
+    pub fn corrupt(&mut self, word_index: usize, mask: u64) {
+        self.data[word_index] ^= mask;
+    }
+}
+
+impl DataPort for DetectOnlyMemory {
+    fn read(&mut self, word_index: usize) -> Result<u32, MemoryFault> {
+        let mask = self.injector.mask(39) as u64;
+        self.data[word_index] ^= mask;
+        let cw = self.data[word_index] as u128;
+        if self.code.syndrome(cw) != 0 {
+            self.detected += 1;
+            return Err(MemoryFault { word_index });
+        }
+        Ok((cw & 0xFFFF_FFFF) as u32)
+    }
+
+    fn write(&mut self, word_index: usize, value: u32) -> Result<(), MemoryFault> {
+        let mask = self.injector.mask(39) as u64;
+        self.data[word_index] = (self.code.encode(value as u64) as u64) ^ mask;
+        Ok(())
+    }
+
+    fn words(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_round_trip() {
+        let mut m = DetectOnlyMemory::new(16);
+        for i in 0..16 {
+            m.write(i, (i as u32).wrapping_mul(0x9E37_79B9)).unwrap();
+        }
+        for i in 0..16 {
+            assert_eq!(m.read(i).unwrap(), (i as u32).wrapping_mul(0x9E37_79B9));
+        }
+        assert_eq!(m.detected(), 0);
+    }
+
+    #[test]
+    fn single_and_double_errors_both_detected() {
+        let mut m = DetectOnlyMemory::new(4);
+        m.store(0, 42);
+        m.corrupt(0, 1 << 10);
+        assert!(m.read(0).is_err(), "single error flagged, not corrected");
+        // Clear and try a double.
+        m.store(0, 42);
+        m.corrupt(0, 0b101);
+        assert!(m.read(0).is_err());
+        assert_eq!(m.detected(), 2);
+    }
+
+    #[test]
+    fn triple_errors_detected_too() {
+        // Min distance 4: any ≤3-bit pattern has nonzero syndrome.
+        let mut m = DetectOnlyMemory::new(1);
+        m.store(0, 0xABCD);
+        m.corrupt(0, 0b10101);
+        assert!(m.read(0).is_err());
+    }
+
+    #[test]
+    fn injected_faults_surface_as_detections() {
+        let mut m = DetectOnlyMemory::new(128).with_injector(FaultInjector::with_p(2e-3, 5));
+        for i in 0..128 {
+            m.write(i, i as u32).unwrap();
+        }
+        let mut hits = 0;
+        for round in 0..40 {
+            for i in 0..128 {
+                match m.read(i) {
+                    Ok(v) => assert_eq!(v, i as u32, "round {round}: silent corruption"),
+                    Err(_) => {
+                        hits += 1;
+                        m.store(i, i as u32);
+                    }
+                }
+            }
+        }
+        assert!(hits > 0, "2e-3 per bit must trip the detector");
+        assert_eq!(m.detected(), hits);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn rejects_zero_words() {
+        DetectOnlyMemory::new(0);
+    }
+}

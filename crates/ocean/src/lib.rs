@@ -1,0 +1,47 @@
+//! OCEAN — the paper's hybrid HW/SW error-mitigation runtime.
+//!
+//! OCEAN (Sabry et al., DATE 2012 / ACM TECS 2014) splits a streaming
+//! computation into phases; each phase's output chunk is checkpointed into
+//! an error-protected buffer with quadruple-error correction. The working
+//! scratchpad only needs error *detection*: a detected error triggers a
+//! rollback to the last checkpoint and re-execution, so correction energy
+//! is paid only when errors actually occur ("demand-driven at run-time").
+//! System failure requires a quintuple bit error in a protected-buffer
+//! word — which is what lets OCEAN push the supply down to 0.33 V where
+//! SECDED stops at 0.44 V (Table 2).
+//!
+//! This crate provides:
+//!
+//! * [`detect`] — the detect-only scratchpad backend (39-bit codewords,
+//!   syndrome check, no corrector);
+//! * [`runtime`] — [`OceanRuntime`]: drives an
+//!   [`ntc_sim::Platform`] phase by phase, checkpointing on `ecall`
+//!   markers, rolling back on detected errors, and accounting every byte
+//!   of checkpoint/restore traffic in the platform's energy ledger;
+//! * [`optimizer`] — the nonlinear phase-count optimizer: checkpoint
+//!   overhead grows with the number of phases while expected rollback
+//!   cost shrinks, and the optimum minimizes total energy.
+//!
+//! # Example
+//!
+//! ```
+//! use ntc_ocean::optimizer::PhaseCostModel;
+//!
+//! // A workload of 300k cycles / 21k stores at a mild error rate:
+//! let model = PhaseCostModel::new(300_000, 21_000, 1024, 1e-6)
+//!     .expect("valid model");
+//! let best = model.optimal_phase_count(64);
+//! assert!(best >= 1 && best <= 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod optimizer;
+pub mod planning;
+pub mod runtime;
+
+pub use detect::DetectOnlyMemory;
+pub use optimizer::PhaseCostModel;
+pub use runtime::{OceanConfig, OceanError, OceanRuntime};

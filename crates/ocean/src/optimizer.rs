@@ -1,0 +1,298 @@
+//! The nonlinear phase optimizer.
+//!
+//! OCEAN "applies nonlinear programming to achieve the minimal energy
+//! overhead possible": splitting a task into more phases makes each
+//! rollback cheaper (less work to redo) but pays more checkpoint traffic;
+//! fewer phases do the opposite. With a geometric re-execution model the
+//! expected energy is
+//!
+//! ```text
+//! E(P) = E_compute
+//!      + P · C_ckpt                       (checkpoint traffic)
+//!      + P · q/(1−q) · (E_compute/P + C_restore)   (expected re-execution)
+//! ```
+//!
+//! where `q = 1 − (1−p_word)^(A/P)` is the probability that a phase of
+//! `A/P` accesses sees at least one detected error. `E(P)` is minimized
+//! over the integer phase counts; the crossover structure (optimum grows
+//! with error rate) is exactly the design knob the paper's Figure 7
+//! mechanism exposes.
+
+use std::fmt;
+
+/// Error returned for invalid model parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    what: &'static str,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid phase cost model: {}", self.what)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Energy model of a phase-partitioned workload.
+///
+/// # Example
+///
+/// ```
+/// use ntc_ocean::PhaseCostModel;
+///
+/// # fn main() -> Result<(), ntc_ocean::optimizer::ModelError> {
+/// let quiet = PhaseCostModel::new(300_000, 28_000, 1536, 1e-9)?;
+/// let noisy = PhaseCostModel::new(300_000, 28_000, 1536, 1e-3)?;
+/// // More errors → more (finer) phases pay off.
+/// assert!(noisy.optimal_phase_count(64) >= quiet.optimal_phase_count(64));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseCostModel {
+    total_cycles: u64,
+    total_accesses: u64,
+    region_words: u32,
+    p_word_error: f64,
+    e_cycle_j: f64,
+    e_checkpoint_word_j: f64,
+    e_restore_word_j: f64,
+}
+
+impl PhaseCostModel {
+    /// Creates a model.
+    ///
+    /// * `total_cycles` — error-free execution cycles of the workload.
+    /// * `total_accesses` — scratchpad accesses that can trigger detection.
+    /// * `region_words` — words captured per checkpoint.
+    /// * `p_word_error` — per-access probability of a detected word error.
+    ///
+    /// Default energy constants model the 40 nm platform at NTC: 5 pJ per
+    /// re-executed cycle, 1 pJ per checkpointed word, 1 pJ per restored
+    /// word. Override with the `with_*` builders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if any count is zero or the probability is
+    /// outside `[0, 1)`.
+    pub fn new(
+        total_cycles: u64,
+        total_accesses: u64,
+        region_words: u32,
+        p_word_error: f64,
+    ) -> Result<Self, ModelError> {
+        if total_cycles == 0 || total_accesses == 0 || region_words == 0 {
+            return Err(ModelError {
+                what: "counts must be nonzero",
+            });
+        }
+        if !(0.0..1.0).contains(&p_word_error) {
+            return Err(ModelError {
+                what: "p_word_error must be in [0, 1)",
+            });
+        }
+        Ok(Self {
+            total_cycles,
+            total_accesses,
+            region_words,
+            p_word_error,
+            e_cycle_j: 5e-12,
+            e_checkpoint_word_j: 1e-12,
+            e_restore_word_j: 1e-12,
+        })
+    }
+
+    /// Overrides the per-cycle execution energy (joules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not finite and positive.
+    #[must_use]
+    pub fn with_cycle_energy(mut self, joules: f64) -> Self {
+        assert!(joules.is_finite() && joules > 0.0, "energy must be positive");
+        self.e_cycle_j = joules;
+        self
+    }
+
+    /// Overrides the per-word checkpoint energy (joules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not finite and positive.
+    #[must_use]
+    pub fn with_checkpoint_energy(mut self, joules: f64) -> Self {
+        assert!(joules.is_finite() && joules > 0.0, "energy must be positive");
+        self.e_checkpoint_word_j = joules;
+        self
+    }
+
+    /// Overrides the per-word restore energy (joules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not finite and positive.
+    #[must_use]
+    pub fn with_restore_energy(mut self, joules: f64) -> Self {
+        assert!(joules.is_finite() && joules > 0.0, "energy must be positive");
+        self.e_restore_word_j = joules;
+        self
+    }
+
+    /// Probability that a phase of `1/phases` of the workload sees at
+    /// least one detected error.
+    pub fn phase_error_probability(&self, phases: u32) -> f64 {
+        assert!(phases > 0, "need at least one phase");
+        let accesses_per_phase = self.total_accesses as f64 / phases as f64;
+        1.0 - (1.0 - self.p_word_error).powf(accesses_per_phase)
+    }
+
+    /// Expected total energy with `phases` phases, joules.
+    ///
+    /// Returns `f64::INFINITY` when the phase error probability reaches
+    /// one (the geometric re-execution series diverges — a rollback
+    /// storm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases == 0`.
+    pub fn energy(&self, phases: u32) -> f64 {
+        assert!(phases > 0, "need at least one phase");
+        let e_compute = self.total_cycles as f64 * self.e_cycle_j;
+        let c_ckpt = self.region_words as f64 * self.e_checkpoint_word_j;
+        let c_restore = self.region_words as f64 * self.e_restore_word_j;
+        let q = self.phase_error_probability(phases);
+        if q >= 1.0 {
+            return f64::INFINITY;
+        }
+        let retries_per_phase = q / (1.0 - q);
+        let redo = retries_per_phase
+            * phases as f64
+            * (e_compute / phases as f64 + c_restore);
+        e_compute + phases as f64 * c_ckpt + redo
+    }
+
+    /// The integer phase count in `1 ..= max_phases` minimizing
+    /// [`energy`](Self::energy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_phases == 0`.
+    pub fn optimal_phase_count(&self, max_phases: u32) -> u32 {
+        assert!(max_phases > 0, "need at least one allowed phase");
+        (1..=max_phases)
+            .min_by(|&a, &b| {
+                self.energy(a)
+                    .partial_cmp(&self.energy(b))
+                    .expect("energies are comparable")
+            })
+            .expect("range is nonempty")
+    }
+
+    /// Expected rollbacks over the whole run at the given phase count.
+    pub fn expected_rollbacks(&self, phases: u32) -> f64 {
+        let q = self.phase_error_probability(phases);
+        if q >= 1.0 {
+            f64::INFINITY
+        } else {
+            phases as f64 * q / (1.0 - q)
+        }
+    }
+}
+
+impl fmt::Display for PhaseCostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phase model: {} cycles, {} accesses, {}-word region, p = {:.2e}",
+            self.total_cycles, self.total_accesses, self.region_words, self.p_word_error
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PhaseCostModel {
+        PhaseCostModel::new(300_000, 28_000, 1536, 1e-4).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PhaseCostModel::new(0, 1, 1, 0.0).is_err());
+        assert!(PhaseCostModel::new(1, 0, 1, 0.0).is_err());
+        assert!(PhaseCostModel::new(1, 1, 0, 0.0).is_err());
+        assert!(PhaseCostModel::new(1, 1, 1, 1.0).is_err());
+        assert!(PhaseCostModel::new(1, 1, 1, -0.1).is_err());
+        assert!(!PhaseCostModel::new(1, 1, 1, 2.0).unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn error_free_prefers_single_phase() {
+        let m = PhaseCostModel::new(300_000, 28_000, 1536, 1e-12).unwrap();
+        assert_eq!(m.optimal_phase_count(64), 1);
+    }
+
+    #[test]
+    fn optimum_grows_with_error_rate() {
+        let mut prev = 0;
+        for p in [1e-7, 1e-5, 1e-4, 1e-3] {
+            let m = PhaseCostModel::new(300_000, 28_000, 1536, p).unwrap();
+            let opt = m.optimal_phase_count(256);
+            assert!(opt >= prev, "p = {p}: optimum {opt} < previous {prev}");
+            prev = opt;
+        }
+        assert!(prev > 1, "high error rates must prefer multiple phases");
+    }
+
+    #[test]
+    fn energy_is_convex_around_the_optimum() {
+        let m = base();
+        let opt = m.optimal_phase_count(256);
+        if opt > 1 {
+            assert!(m.energy(opt) <= m.energy(opt - 1));
+        }
+        assert!(m.energy(opt) <= m.energy(opt + 1));
+    }
+
+    #[test]
+    fn phase_error_probability_decreases_with_phases() {
+        let m = base();
+        assert!(m.phase_error_probability(1) > m.phase_error_probability(16));
+        assert!(m.phase_error_probability(16) > m.phase_error_probability(256));
+    }
+
+    #[test]
+    fn storm_is_infinite_energy() {
+        let m = PhaseCostModel::new(1_000_000, 1_000_000, 64, 0.999).unwrap();
+        assert_eq!(m.energy(1), f64::INFINITY);
+        assert_eq!(m.expected_rollbacks(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn expected_rollbacks_track_probability() {
+        let m = base();
+        let phases = 11;
+        let q = m.phase_error_probability(phases);
+        let want = phases as f64 * q / (1.0 - q);
+        assert!((m.expected_rollbacks(phases) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_change_the_tradeoff() {
+        // Expensive checkpoints push the optimum toward fewer phases.
+        let cheap = base();
+        let pricey = base().with_checkpoint_energy(100e-12);
+        assert!(pricey.optimal_phase_count(256) <= cheap.optimal_phase_count(256));
+        // Expensive cycles (costly re-execution) push toward more phases.
+        let hot = base().with_cycle_energy(50e-12);
+        assert!(hot.optimal_phase_count(256) >= cheap.optimal_phase_count(256));
+        let _ = base().with_restore_energy(2e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!base().to_string().is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the OCEAN runtime and optimizer.
+
+use ntc_ocean::detect::DetectOnlyMemory;
+use ntc_ocean::optimizer::PhaseCostModel;
+use ntc_ocean::runtime::{Granularity, OceanConfig, OceanRuntime};
+use ntc_sim::asm::assemble;
+use ntc_sim::memory::{FaultInjector, ProtectedMemory};
+use ntc_sim::platform::{Platform, PlatformConfig, Protection};
+use proptest::prelude::*;
+
+/// A program writing `i²` into words 0..16, then summing into word 20,
+/// with a phase boundary between the passes.
+fn two_phase_program() -> Vec<u32> {
+    assemble(
+        "   li r1, 0
+            li r2, 0
+            li r3, 16
+        fill:
+            mul r4, r1, r1
+            sw  r4, 0(r2)
+            addi r1, r1, 1
+            addi r2, r2, 4
+            bne r1, r3, fill
+            ecall 1
+            li r1, 0
+            li r2, 0
+            li r4, 0
+        sum:
+            lw r5, 0(r2)
+            add r4, r4, r5
+            addi r1, r1, 1
+            addi r2, r2, 4
+            bne r1, r3, sum
+            sw r4, 80(r0)
+            ecall 1
+            halt",
+    )
+    .expect("assembles")
+}
+
+fn expected_sum() -> u32 {
+    (0u32..16).map(|i| i * i).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under write-through OCEAN, the result is exact for any seed and any
+    /// error rate the run survives — the runtime never silently corrupts.
+    #[test]
+    fn write_through_is_exact_or_fails_loudly(seed: u64, p_exp in 2.5f64..5.0) {
+        let p = 10f64.powf(-p_exp);
+        let cfg = PlatformConfig::mparm_like(0.33, 290e3, Protection::DetectOnly)
+            .with_protected_buffer(64);
+        let sp = DetectOnlyMemory::new(64).with_injector(FaultInjector::with_p(p, seed));
+        let mut platform =
+            Platform::new(&cfg, two_phase_program(), sp, Some(ProtectedMemory::new(64)));
+        let mut rt = OceanRuntime::new(
+            OceanConfig::new(0, 32).with_granularity(Granularity::WriteThrough),
+        );
+        match rt.run(&mut platform, &[0; 32], 50_000_000) {
+            Ok(_) => {
+                // The golden copy must hold the exact sum.
+                let got = platform.protected().unwrap().load(20).expect("pm readable");
+                prop_assert_eq!(got, expected_sum());
+            }
+            Err(e) => {
+                // A loud failure is acceptable; silence is not. The only
+                // failure modes allowed are the declared ones.
+                let s = format!("{e}");
+                prop_assert!(
+                    s.contains("system failure")
+                        || s.contains("rollback")
+                        || s.contains("trap"),
+                    "unexpected error {s}"
+                );
+            }
+        }
+    }
+
+    /// Phase-granularity rollback also never silently corrupts.
+    #[test]
+    fn phase_rollback_is_exact_or_fails_loudly(seed: u64, p_exp in 3.5f64..6.0) {
+        let p = 10f64.powf(-p_exp);
+        let cfg = PlatformConfig::mparm_like(0.40, 290e3, Protection::DetectOnly)
+            .with_protected_buffer(64);
+        let sp = DetectOnlyMemory::new(64).with_injector(FaultInjector::with_p(p, seed));
+        let mut platform =
+            Platform::new(&cfg, two_phase_program(), sp, Some(ProtectedMemory::new(64)));
+        let mut rt =
+            OceanRuntime::new(OceanConfig::new(0, 32).with_granularity(Granularity::Phase));
+        if rt.run(&mut platform, &[0; 32], 100_000_000).is_ok() {
+            let got = platform
+                .scratchpad()
+                .load(20)
+                .or_else(|_| platform.protected().unwrap().load(20))
+                .expect("some copy readable");
+            prop_assert_eq!(got, expected_sum());
+        }
+    }
+}
+
+proptest! {
+    /// Optimizer energy is positive and finite whenever a phase can
+    /// complete, and the optimum is a true argmin on the searched range.
+    #[test]
+    fn optimizer_argmin(
+        cycles in 1_000u64..10_000_000,
+        accesses in 100u64..1_000_000,
+        region in 16u32..4096,
+        p_exp in 3.0f64..12.0,
+    ) {
+        let m = PhaseCostModel::new(cycles, accesses, region, 10f64.powf(-p_exp)).unwrap();
+        let best = m.optimal_phase_count(64);
+        let e_best = m.energy(best);
+        prop_assert!(e_best.is_finite() && e_best > 0.0);
+        for phases in 1..=64 {
+            prop_assert!(m.energy(phases) >= e_best, "phases {phases} beats the optimum");
+        }
+    }
+
+    /// The phase-error probability is consistent with its definition.
+    #[test]
+    fn phase_probability_definition(
+        accesses in 1u64..100_000,
+        phases in 1u32..64,
+        p in 0.0f64..0.01,
+    ) {
+        let m = PhaseCostModel::new(1_000, accesses, 64, p).unwrap();
+        let q = m.phase_error_probability(phases);
+        let direct = 1.0 - (1.0 - p).powf(accesses as f64 / phases as f64);
+        prop_assert!((q - direct).abs() < 1e-12);
+    }
+}

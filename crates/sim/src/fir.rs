@@ -1,0 +1,217 @@
+//! A second streaming workload: a block FIR filter.
+//!
+//! The paper notes its analysis "is applicable to other streaming
+//! applications as well"; this module provides one — a Q15 direct-form
+//! FIR filter processing samples in blocks, with an `ecall 1` phase
+//! marker after every block (the OCEAN checkpoint hook), in the same
+//! dual form as the FFT: a native golden model ([`fir_fixed`]) and a
+//! generated assembly kernel ([`fir_program`]) that match bit for bit.
+//!
+//! Scratchpad layout (byte addresses) for `n` samples and `t` taps:
+//!
+//! ```text
+//! 0            .. 4n         input samples  (Q15, one per word)
+//! 4n           .. 4(n+t)     coefficients   (Q15, one per word)
+//! 4(n+t)       .. 4(2n+t)    output samples (Q15, one per word)
+//! ```
+//!
+//! The output is `y[i] = (Σ_j c[j] · x[i − j]) >> 15` with the same
+//! wrapping-i32 arithmetic the core executes; samples before the start
+//! are taken as zero.
+
+use ntc_stats::rng::Source;
+
+/// Native golden model of the assembly kernel (wrapping i32, `>> 15`).
+///
+/// # Panics
+///
+/// Panics if `taps` is empty or `input` is empty.
+///
+/// # Example
+///
+/// ```
+/// // A unit-impulse filter passes the signal through unchanged.
+/// let x = vec![100, -200, 300];
+/// let y = ntc_sim::fir::fir_fixed(&x, &[32767]);
+/// assert_eq!(y, vec![99, -200, 299]); // 100·32767 >> 15 = 99 (floor)
+/// ```
+pub fn fir_fixed(input: &[i32], taps: &[i32]) -> Vec<i32> {
+    assert!(!input.is_empty(), "input must be nonempty");
+    assert!(!taps.is_empty(), "need at least one tap");
+    (0..input.len())
+        .map(|i| {
+            let mut acc = 0i32;
+            for (j, &c) in taps.iter().enumerate() {
+                if i >= j {
+                    acc = acc.wrapping_add(c.wrapping_mul(input[i - j]));
+                }
+            }
+            acc >> 15
+        })
+        .collect()
+}
+
+/// The assembly source of the FIR kernel for the simulated core.
+///
+/// Processes `n` samples with `t` taps in blocks of `block` samples,
+/// issuing `ecall 1` after each block. All sizes are in samples/taps.
+///
+/// # Panics
+///
+/// Panics unless `0 < t ≤ 64`, `0 < n ≤ 512`, `block` divides `n`, and
+/// the layout fits an 8 KB scratchpad.
+pub fn fir_program(n: usize, t: usize, block: usize) -> String {
+    assert!(t > 0 && t <= 64, "taps must be in 1..=64, got {t}");
+    assert!(n > 0 && n <= 512, "samples must be in 1..=512, got {n}");
+    assert!(
+        block > 0 && n.is_multiple_of(block),
+        "block ({block}) must divide the sample count ({n})"
+    );
+    assert!(scratchpad_words(n, t) <= 2048, "layout exceeds the 8 KB scratchpad");
+    let coeff_base = n * 4;
+    let out_base = (n + t) * 4;
+    let t_bytes = t * 4;
+    let block_bytes = block * 4;
+    format!(
+        "; {n}-sample, {t}-tap block FIR (generated)
+            li   r1, 0              ; x pointer (bytes)
+            li   r2, {out_base}     ; y pointer
+            li   r3, {n_bytes}      ; end of input
+            li   r9, {block_bytes}  ; block accounting
+            mv   r10, r9            ; bytes left in the current block
+        sample_loop:
+            li   r4, 0              ; acc
+            li   r5, 0              ; tap offset (bytes)
+        tap_loop:
+            sub  r6, r1, r5         ; x index for this tap
+            blt  r6, r0, tap_done   ; before the start: zero contribution
+            lw   r7, 0(r6)          ; x[i-j]
+            addi r8, r5, {coeff_base}
+            lw   r8, 0(r8)          ; c[j]
+            mul  r7, r7, r8
+            add  r4, r4, r7
+        tap_done:
+            addi r5, r5, 4
+            li   r8, {t_bytes}
+            blt  r5, r8, tap_loop
+            srai r4, r4, 15
+            sw   r4, 0(r2)
+            addi r1, r1, 4
+            addi r2, r2, 4
+            addi r10, r10, -4
+            bne  r10, r0, next_sample
+            ecall 1                 ; block boundary (OCEAN phase)
+            mv   r10, r9
+        next_sample:
+            blt  r1, r3, sample_loop
+            halt
+        ",
+        n_bytes = n * 4,
+    )
+}
+
+/// Scratchpad words needed for the layout (input + taps + output).
+pub fn scratchpad_words(n: usize, t: usize) -> usize {
+    2 * n + t
+}
+
+/// A deterministic Q15 test signal in `(-16000, 16000)`.
+pub fn random_signal(n: usize, seed: u64) -> Vec<i32> {
+    let mut src = Source::seeded(seed);
+    (0..n)
+        .map(|_| src.uniform_in(-16000.0, 16000.0) as i32)
+        .collect()
+}
+
+/// A simple low-pass coefficient set (moving average of `t` taps in Q15).
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn moving_average_taps(t: usize) -> Vec<i32> {
+    assert!(t > 0, "need at least one tap");
+    vec![(32767 / t) as i32; t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::machine::Core;
+    use crate::memory::RawMemory;
+
+    fn run_kernel(n: usize, t: usize, block: usize, seed: u64) -> (Vec<i32>, Vec<i32>, u32) {
+        let program = assemble(&fir_program(n, t, block)).expect("kernel assembles");
+        let input = random_signal(n, seed);
+        let taps = moving_average_taps(t);
+        let mut mem = RawMemory::new(scratchpad_words(n, t).next_power_of_two());
+        for (i, &x) in input.iter().enumerate() {
+            mem.store(i, x as u32);
+        }
+        for (j, &c) in taps.iter().enumerate() {
+            mem.store(n + j, c as u32);
+        }
+        let mut core = Core::new();
+        let mut phases = 0;
+        loop {
+            let ev = core.step(&program, &mut mem).expect("no trap");
+            if ev.ecall == Some(1) {
+                phases += 1;
+            }
+            if ev.halted {
+                break;
+            }
+        }
+        let got: Vec<i32> = (0..n).map(|i| mem.load(n + t + i) as i32).collect();
+        (got, fir_fixed(&input, &taps), phases)
+    }
+
+    #[test]
+    fn assembly_matches_native_bit_exact() {
+        for (n, t, block) in [(32, 4, 8), (64, 8, 16), (128, 16, 32)] {
+            let (got, want, _) = run_kernel(n, t, block, 5 + n as u64);
+            assert_eq!(got, want, "n={n} t={t}");
+        }
+    }
+
+    #[test]
+    fn phase_markers_one_per_block() {
+        let (_, _, phases) = run_kernel(64, 8, 16, 1);
+        assert_eq!(phases, 4);
+    }
+
+    #[test]
+    fn impulse_response_recovers_taps() {
+        let t = 8;
+        let taps: Vec<i32> = (1..=t as i32).map(|k| k * 1000).collect();
+        let mut input = vec![0i32; 16];
+        input[0] = 32767; // ≈ unit impulse in Q15
+        let y = fir_fixed(&input, &taps);
+        for (j, &c) in taps.iter().enumerate() {
+            // y[j] = c[j]·32767 >> 15 ≈ c[j] − 1 ulp
+            assert!((y[j] - c).abs() <= 1, "tap {j}: {} vs {c}", y[j]);
+        }
+        assert!(y[t..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let input: Vec<i32> = (0..64).map(|i| if i % 2 == 0 { 8000 } else { -8000 }).collect();
+        let y = fir_fixed(&input, &moving_average_taps(2));
+        // A 2-tap average of an alternating signal is ~0 after warmup.
+        assert!(y[1..].iter().all(|&v| v.abs() <= 1), "{y:?}");
+    }
+
+    #[test]
+    fn program_validation() {
+        assert!(std::panic::catch_unwind(|| fir_program(64, 0, 8)).is_err());
+        assert!(std::panic::catch_unwind(|| fir_program(60, 4, 7)).is_err());
+        assert!(std::panic::catch_unwind(|| fir_program(1024, 4, 8)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn fir_fixed_rejects_empty_taps() {
+        fir_fixed(&[1, 2], &[]);
+    }
+}

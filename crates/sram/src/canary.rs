@@ -1,0 +1,204 @@
+//! Canary cells: the "advanced monitoring" sensor of the paper's
+//! monitoring-control-mitigation scheme.
+//!
+//! A canary array is a small set of replica cells engineered to fail
+//! *earlier* than the real array (weakened write margin — modeled as a
+//! knee shifted up by a designed margin). At run time the system watches
+//! canary failures instead of waiting for real errors: when canaries
+//! start dropping, the real array still has the designed margin in hand,
+//! and the controller raises the supply before user data is ever at
+//! risk. This gives the voltage control loop a *leading* indicator, to
+//! complement the *lagging* one (observed ECC corrections) in
+//! `ntc::monitor`.
+
+use crate::failure::AccessLaw;
+use ntc_stats::rng::Source;
+use std::fmt;
+
+/// A canary replica array attached to a memory macro.
+///
+/// # Example
+///
+/// ```
+/// use ntc_sram::canary::CanaryArray;
+/// use ntc_sram::failure::AccessLaw;
+///
+/// let canary = CanaryArray::new(AccessLaw::cell_based_40nm(), 0.40, 256);
+/// // At a supply where the real array is still error-free, whole
+/// // canaries are already failing — that is their job.
+/// assert_eq!(canary.base_law().p_bit(0.56), 0.0);
+/// assert!(canary.expected_failures(0.56) > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanaryArray {
+    base: AccessLaw,
+    canary_law: AccessLaw,
+    margin_v: f64,
+    cells: u32,
+}
+
+impl CanaryArray {
+    /// Creates a canary array of `cells` replicas whose failure knee sits
+    /// `margin_v` volts above the protected array's.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `margin_v` is positive/finite and `cells > 0`.
+    pub fn new(base: AccessLaw, margin_v: f64, cells: u32) -> Self {
+        assert!(
+            margin_v.is_finite() && margin_v > 0.0,
+            "canary margin must be positive, got {margin_v}"
+        );
+        assert!(cells > 0, "need at least one canary cell");
+        let canary_law = base.with_knee_shift(margin_v);
+        Self {
+            base,
+            canary_law,
+            margin_v,
+            cells,
+        }
+    }
+
+    /// The protected array's law.
+    pub fn base_law(&self) -> &AccessLaw {
+        &self.base
+    }
+
+    /// The designed canary margin, volts.
+    pub fn margin_v(&self) -> f64 {
+        self.margin_v
+    }
+
+    /// Number of canary cells.
+    pub fn cells(&self) -> u32 {
+        self.cells
+    }
+
+    /// Per-cell canary failure probability at supply `vdd`.
+    pub fn p_canary(&self, vdd: f64) -> f64 {
+        self.canary_law.p_bit(vdd)
+    }
+
+    /// Expected failing canaries per sampling pass at `vdd`.
+    pub fn expected_failures(&self, vdd: f64) -> f64 {
+        self.cells as f64 * self.p_canary(vdd)
+    }
+
+    /// Samples one canary read-out (binomial draw).
+    pub fn sample_failures(&self, vdd: f64, src: &mut Source) -> u32 {
+        src.binomial(self.cells as u64, self.p_canary(vdd)) as u32
+    }
+
+    /// The supply at which, on average, `threshold` canaries fail — the
+    /// trip point of the early-warning comparator. With the steep Eq. 5
+    /// exponent, protecting the real knee requires tripping on the *first*
+    /// canary failure (`threshold = 1`); higher thresholds trip only well
+    /// below the canary knee.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold < cells`.
+    pub fn trip_voltage(&self, threshold: u32) -> f64 {
+        assert!(
+            threshold > 0 && threshold < self.cells,
+            "threshold must be within the array size"
+        );
+        self.canary_law
+            .vdd_for_p(threshold as f64 / self.cells as f64)
+    }
+
+    /// The real-array bit error probability when the canaries trip — the
+    /// residual risk at the warning point (should be ≈ 0 for a healthy
+    /// margin).
+    pub fn risk_at_trip(&self, threshold: u32) -> f64 {
+        self.base.p_bit(self.trip_voltage(threshold))
+    }
+}
+
+impl fmt::Display for CanaryArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} canary cells, +{:.0} mV margin over {}",
+            self.cells,
+            self.margin_v * 1000.0,
+            self.base
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canary() -> CanaryArray {
+        CanaryArray::new(AccessLaw::cell_based_40nm(), 0.40, 256)
+    }
+
+    #[test]
+    fn canaries_fail_before_the_real_array() {
+        let c = canary();
+        // Between trip region and real knee: canaries failing measurably,
+        // array clean.
+        let v = 0.57;
+        assert!(c.expected_failures(v) > 0.5, "{}", c.expected_failures(v));
+        assert_eq!(c.base_law().p_bit(v), 0.0);
+    }
+
+    #[test]
+    fn trip_voltage_sits_above_the_real_knee() {
+        let c = canary();
+        let trip = c.trip_voltage(1);
+        assert!(trip < c.base_law().v0() + c.margin_v());
+        assert!(
+            trip > c.base_law().v0() - 0.01,
+            "trip {trip} must protect the array (knee {})",
+            c.base_law().v0()
+        );
+    }
+
+    #[test]
+    fn risk_at_trip_is_negligible() {
+        let c = canary();
+        // When the first of 256 canaries fails, the real array's p_bit is
+        // still tiny (or exactly zero).
+        assert!(c.risk_at_trip(1) < 1e-6, "risk {}", c.risk_at_trip(1));
+    }
+
+    #[test]
+    fn sampling_matches_expectation() {
+        let c = canary();
+        let v = 0.50;
+        let mut src = Source::seeded(5);
+        let rounds = 4000;
+        let total: u64 = (0..rounds).map(|_| c.sample_failures(v, &mut src) as u64).sum();
+        let mean = total as f64 / rounds as f64;
+        let want = c.expected_failures(v);
+        assert!(want > 0.5, "pick a voltage with measurable failures");
+        assert!((mean / want - 1.0).abs() < 0.1, "mean {mean} vs expected {want}");
+    }
+
+    #[test]
+    fn larger_margin_trips_earlier() {
+        let small = CanaryArray::new(AccessLaw::cell_based_40nm(), 0.35, 256);
+        let large = CanaryArray::new(AccessLaw::cell_based_40nm(), 0.45, 256);
+        assert!(large.trip_voltage(1) > small.trip_voltage(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be positive")]
+    fn rejects_zero_margin() {
+        CanaryArray::new(AccessLaw::cell_based_40nm(), 0.0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "within the array size")]
+    fn rejects_bad_threshold() {
+        canary().trip_voltage(256);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!canary().to_string().is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the reliability models.
+
+use ntc_sram::diemap::{DieMap, DieMapConfig};
+use ntc_sram::failure::{AccessLaw, RetentionLaw};
+use ntc_sram::words::{ln_binomial, WordErrorModel};
+use ntc_stats::rng::Source;
+use proptest::prelude::*;
+
+proptest! {
+    /// The retention law's quantile inverts its CDF everywhere.
+    #[test]
+    fn retention_inverse(mean in 0.05f64..0.5, sigma in 0.005f64..0.1, p in 1e-12f64..0.999) {
+        let law = RetentionLaw::new(mean, sigma).unwrap();
+        let v = law.vdd_for_p(p);
+        prop_assert!((law.p_bit(v) / p - 1.0).abs() < 1e-7);
+    }
+
+    /// Eq. 4 d-parameter conversion round-trips for arbitrary laws.
+    #[test]
+    fn d_params_round_trip(mean in 0.05f64..0.5, sigma in 0.005f64..0.1) {
+        let law = RetentionLaw::new(mean, sigma).unwrap();
+        let (d0, d1, d2) = law.to_d_params();
+        let back = RetentionLaw::from_d_params(d0, d1, d2).unwrap();
+        prop_assert!((back.mean() - mean).abs() < 1e-10);
+        prop_assert!((back.sigma() - sigma).abs() < 1e-10);
+    }
+
+    /// The access law's inverse round-trips below the knee.
+    #[test]
+    fn access_inverse(
+        a in 0.5f64..20.0,
+        k in 2.0f64..9.0,
+        v0 in 0.3f64..1.0,
+        p in 1e-15f64..0.5,
+    ) {
+        let law = AccessLaw::new(a, k, v0).unwrap();
+        let v = law.vdd_for_p(p);
+        prop_assert!(v < v0);
+        prop_assert!((law.p_bit(v) / p - 1.0).abs() < 1e-7);
+    }
+
+    /// Knee shifts compose additively.
+    #[test]
+    fn knee_shift_composes(d1 in -0.1f64..0.1, d2 in -0.1f64..0.1) {
+        let law = AccessLaw::cell_based_40nm();
+        prop_assume!(law.v0() + d1 > 0.0 && law.v0() + d1 + d2 > 0.0);
+        let a = law.with_knee_shift(d1).with_knee_shift(d2);
+        let b = law.with_knee_shift(d1 + d2);
+        prop_assert!((a.v0() - b.v0()).abs() < 1e-12);
+    }
+
+    /// Word-error distribution sums to one for any width and probability.
+    #[test]
+    fn distribution_normalized(bits in 1u32..80, p in 0.0f64..=1.0) {
+        let w = WordErrorModel::new(bits);
+        let total: f64 = w.distribution(p).iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "bits {bits}, p {p}: {total}");
+    }
+
+    /// P(≥m) is monotone decreasing in m.
+    #[test]
+    fn tail_monotone_in_threshold(p in 0.0f64..0.5, m in 0u32..39) {
+        let w = WordErrorModel::new(39);
+        prop_assert!(w.p_at_least(m, p) >= w.p_at_least(m + 1, p) - 1e-15);
+    }
+
+    /// Pascal's rule on the log-binomial.
+    #[test]
+    fn pascal_rule(n in 1u64..500, k in 1u64..500) {
+        prop_assume!(k < n);
+        let lhs = ln_binomial(n, k);
+        let a = ln_binomial(n - 1, k - 1);
+        let b = ln_binomial(n - 1, k);
+        // ln(C(n,k)) = ln(C(n-1,k-1) + C(n-1,k)) via log-sum-exp.
+        let m = a.max(b);
+        let rhs = m + ((a - m).exp() + (b - m).exp()).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    /// max_p_bit_for_target is monotone in both capability and budget.
+    #[test]
+    fn solver_monotonicities(
+        t in 0u32..5,
+        exp_a in 3.0f64..20.0,
+        exp_b in 3.0f64..20.0,
+    ) {
+        let w = WordErrorModel::new(39);
+        let ta = 10f64.powf(-exp_a);
+        let tb = 10f64.powf(-exp_b);
+        let (lo_t, hi_t) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+        let p_lo = w.max_p_bit_for_target(t, lo_t).unwrap();
+        let p_hi = w.max_p_bit_for_target(t, hi_t).unwrap();
+        prop_assert!(p_lo <= p_hi * (1.0 + 1e-9), "tighter budget, lower p");
+        let p_more = w.max_p_bit_for_target(t + 1, lo_t).unwrap();
+        prop_assert!(p_more >= p_lo, "more correction, higher tolerable p");
+    }
+
+    /// Die synthesis: population BER at the law mean is ~50 % regardless
+    /// of the correlation split.
+    #[test]
+    fn die_population_centered(sys in 0.0f64..0.6, d2d in 0.0f64..0.45, seed: u64) {
+        prop_assume!(sys * sys + d2d * d2d < 0.9);
+        let law = RetentionLaw::cell_based_40nm();
+        let cfg = DieMapConfig::new(32, 32, law)
+            .with_systematic_fraction(sys)
+            .with_die_to_die_fraction(d2d);
+        // With strong die-to-die correlation the 24-die average still has
+        // sampling noise ~ d2d/√24; the tolerance accounts for it.
+        let dies = DieMap::synthesize_population(&cfg, 24, seed);
+        let ber = DieMap::population_ber(&dies, law.mean());
+        prop_assert!((ber - 0.5).abs() < 0.16, "BER at mean: {ber}");
+    }
+
+    /// Failure count at any voltage equals the number of failing positions.
+    #[test]
+    fn die_counts_consistent(seed: u64, dv in -0.05f64..0.1) {
+        let law = RetentionLaw::cell_based_40nm();
+        let cfg = DieMapConfig::new(16, 16, law);
+        let die = DieMap::synthesize(&cfg, &mut Source::seeded(seed));
+        let vdd = law.mean() + dv;
+        prop_assert_eq!(die.failure_count(vdd), die.failing_bits(vdd).len());
+        prop_assert!((die.ber(vdd) - die.failure_count(vdd) as f64 / 256.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fixed-bin histograms with terminal rendering.
+//!
+//! Used by the figure-regeneration binaries to show distributions
+//! (per-bit retention voltages, Monte-Carlo delay samples) without a
+//! plotting stack.
+
+use std::fmt;
+
+/// A histogram over a fixed range with uniform bins.
+///
+/// # Example
+///
+/// ```
+/// use ntc_stats::hist::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 4);
+/// for x in [0.1, 0.15, 0.6, 0.9, 1.5] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bin_count(0), 2);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the range is invalid.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds a sample (NaN samples count as overflow).
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() || x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+        let last = self.bins.len() - 1;
+        self.bins[idx.min(last)] += 1;
+    }
+
+    /// Total samples, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Samples in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len(), "bin {i} out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// The index of the most populated bin (first on ties), or `None` if
+    /// every bin is empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let max = *self.bins.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.bins.iter().position(|&c| c == max)
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = (c as f64 / max as f64 * 50.0).round() as usize;
+            writeln!(
+                f,
+                "{:>10.4} | {:<50} {}",
+                self.bin_center(i),
+                "#".repeat(bar),
+                c
+            )?;
+        }
+        if self.underflow > 0 || self.overflow > 0 {
+            writeln!(f, "(underflow {}, overflow {})", self.underflow, self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_exact_on_boundaries() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.push(0.0); // first bin
+        h.push(0.0999); // first bin
+        h.push(0.1); // second bin
+        h.push(0.9999); // last bin
+        h.push(1.0); // overflow (half-open range)
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn centers_and_mode() {
+        let mut h = Histogram::new(0.0, 2.0, 4);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-12);
+        assert!((h.bin_center(3) - 1.75).abs() < 1e-12);
+        assert_eq!(h.mode_bin(), None);
+        h.extend([0.3, 0.3, 1.9]);
+        assert_eq!(h.mode_bin(), Some(0));
+    }
+
+    #[test]
+    fn gaussian_samples_peak_at_the_mean() {
+        use crate::rng::Source;
+        let mut src = Source::seeded(3);
+        let mut h = Histogram::new(-4.0, 4.0, 16);
+        h.extend((0..50_000).map(|_| src.standard_normal()));
+        let mode = h.mode_bin().expect("populated");
+        assert!((h.bin_center(mode)).abs() < 0.5, "peak near zero");
+    }
+
+    #[test]
+    fn display_renders_all_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        h.push(2.0);
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), 6, "5 bins + overflow note");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn nan_counts_as_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(f64::NAN);
+        assert_eq!(h.overflow(), 1);
+    }
+}

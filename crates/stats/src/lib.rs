@@ -1,0 +1,56 @@
+//! Statistical and numerical substrate for NTC memory reliability modeling.
+//!
+//! Near-threshold memory reliability work lives and dies on Gaussian tail
+//! arithmetic: a bit cell fails when its noise margin — a Gaussian random
+//! variable over process variation — crosses zero, and system-level failure
+//! targets sit at probabilities around 1e-15 (the FIT bound used by
+//! Gemmeke et al., DATE 2014). This crate provides the numerical pieces the
+//! rest of the workspace builds on:
+//!
+//! * [`math`] — error function family ([`erf`], [`erfc`], [`ln_erfc`]), the
+//!   standard normal CDF [`phi`] and its inverse [`inv_phi`] (probit),
+//!   accurate deep into the tail where failure probabilities of 1e-20 must
+//!   still carry relative precision.
+//! * [`dist`] — the [`Gaussian`] distribution with tail and quantile
+//!   helpers used by the noise-margin models.
+//! * [`fit`] — least-squares fitting used to recover the paper's model
+//!   constants from synthetic measurement data: straight lines, probit-domain
+//!   lines (Eq. 4 of the paper) and the `A·(V0 − V)^k` access-failure power
+//!   law (Eq. 5).
+//! * [`mc`] — Monte-Carlo bookkeeping: streaming mean/variance, rare-event
+//!   counters, percentiles.
+//! * [`hist`] — fixed-bin histograms with terminal rendering for the
+//!   figure binaries.
+//! * [`sweep`] — voltage sweep helpers (`linspace`, `logspace`).
+//! * [`rng`] — deterministic random sampling (uniform, standard normal) so
+//!   every experiment in the workspace is reproducible from a seed.
+//!
+//! # Example
+//!
+//! Probability that a cell with noise margin `NM ~ N(0.2 V, 40 mV)` has a
+//! negative margin (i.e. fails):
+//!
+//! ```
+//! use ntc_stats::dist::Gaussian;
+//!
+//! # fn main() -> Result<(), ntc_stats::dist::GaussianError> {
+//! let nm = Gaussian::new(0.2, 0.04)?;
+//! let p_fail = nm.cdf(0.0);
+//! assert!(p_fail > 2.8e-7 && p_fail < 2.9e-7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod fit;
+pub mod hist;
+pub mod math;
+pub mod mc;
+pub mod rng;
+pub mod sweep;
+
+pub use dist::Gaussian;
+pub use math::{erf, erfc, inv_phi, ln_erfc, phi};

@@ -1,0 +1,296 @@
+//! Deterministic random sampling for reproducible experiments.
+//!
+//! Every stochastic experiment in the workspace (die synthesis, fault
+//! injection, Monte-Carlo sweeps) takes an explicit seed and draws through
+//! this module, so any figure can be regenerated bit-for-bit. The generator
+//! is `rand`'s small-state `SplitMix64`-seeded xoshiro-family default via
+//! [`rand::rngs::StdRng`]; normal variates use the Marsaglia polar method so
+//! no extra distribution crate is needed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source producing uniforms and standard normals.
+///
+/// # Example
+///
+/// ```
+/// use ntc_stats::rng::Source;
+///
+/// let mut a = Source::seeded(42);
+/// let mut b = Source::seeded(42);
+/// assert_eq!(a.uniform(), b.uniform(), "same seed, same stream");
+/// let z = a.standard_normal();
+/// assert!(z.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Source {
+    rng: StdRng,
+    cached_normal: Option<f64>,
+}
+
+impl Source {
+    /// Creates a source from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            cached_normal: None,
+        }
+    }
+
+    /// Derives an independent child stream, e.g. one per die or per module.
+    ///
+    /// The child is seeded from a hash of this stream's next output and the
+    /// `stream` label, so children with different labels are decorrelated
+    /// and reproducible.
+    pub fn fork(&mut self, stream: u64) -> Source {
+        let base: u64 = self.rng.gen();
+        // SplitMix64 finalizer over (base, stream).
+        let mut z = base ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        Source::seeded(z)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid uniform range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.rng.gen_range(0..n)
+    }
+
+    /// A standard normal draw (Marsaglia polar method, pair-cached).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.cached_normal.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.cached_normal = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.standard_normal()
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// A binomial draw: number of successes in `n` trials at probability `p`.
+    ///
+    /// Uses direct simulation below 64 trials and a Gaussian approximation
+    /// with continuity correction above, which is plenty for fault-count
+    /// sampling at the population sizes used here.
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        if p <= 0.0 || n == 0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        let mean = n as f64 * p;
+        let var = mean * (1.0 - p);
+        if n < 64 || mean < 16.0 || (n as f64 - mean) < 16.0 {
+            let mut k = 0;
+            for _ in 0..n {
+                k += u64::from(self.bernoulli(p));
+            }
+            k
+        } else {
+            let draw = self.normal(mean, var.sqrt()).round();
+            draw.clamp(0.0, n as f64) as u64
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        for i in (1..data.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            data.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `[0, n)` (partial Fisher–Yates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn distinct_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot draw {k} distinct indices from {n}");
+        // For small k relative to n, rejection sampling is cheaper than
+        // materializing [0, n).
+        if k * 8 < n {
+            let mut out = Vec::with_capacity(k);
+            while out.len() < k {
+                let idx = self.below(n as u64) as usize;
+                if !out.contains(&idx) {
+                    out.push(idx);
+                }
+            }
+            out
+        } else {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            all
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::Moments;
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = Source::seeded(7);
+        let mut b = Source::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Source::seeded(1);
+        let mut b = Source::seeded(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_reproducible_and_distinct() {
+        let mut parent1 = Source::seeded(99);
+        let mut parent2 = Source::seeded(99);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        assert_eq!(c1.uniform(), c2.uniform());
+        let mut parent3 = Source::seeded(99);
+        let mut c3 = parent3.fork(6);
+        assert_ne!(c1.uniform(), c3.uniform());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut src = Source::seeded(123);
+        let m: Moments = (0..200_000).map(|_| src.standard_normal()).collect();
+        assert!(m.mean().abs() < 0.01, "mean {}", m.mean());
+        assert!((m.std_dev() - 1.0).abs() < 0.01, "sd {}", m.std_dev());
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut src = Source::seeded(4);
+        for _ in 0..1000 {
+            let x = src.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform range")]
+    fn uniform_in_rejects_inverted() {
+        Source::seeded(0).uniform_in(1.0, 0.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut src = Source::seeded(11);
+        let hits = (0..100_000).filter(|_| src.bernoulli(0.25)).count();
+        let f = hits as f64 / 100_000.0;
+        assert!((f - 0.25).abs() < 0.01);
+        assert!(!src.bernoulli(0.0));
+        assert!(src.bernoulli(1.0));
+    }
+
+    #[test]
+    fn binomial_small_and_large_agree_in_moments() {
+        let mut src = Source::seeded(21);
+        // Small-n path.
+        let m: Moments = (0..20_000).map(|_| src.binomial(20, 0.3) as f64).collect();
+        assert!((m.mean() - 6.0).abs() < 0.1);
+        // Large-n Gaussian path.
+        let m: Moments = (0..20_000)
+            .map(|_| src.binomial(10_000, 0.5) as f64)
+            .collect();
+        assert!((m.mean() - 5000.0).abs() < 2.0);
+        assert!((m.std_dev() - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut src = Source::seeded(3);
+        assert_eq!(src.binomial(100, 0.0), 0);
+        assert_eq!(src.binomial(100, 1.0), 100);
+        assert_eq!(src.binomial(0, 0.5), 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut src = Source::seeded(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        src.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut src = Source::seeded(13);
+        for &(n, k) in &[(100usize, 3usize), (10, 10), (1000, 999), (50, 0)] {
+            let idx = src.distinct_indices(n, k);
+            assert_eq!(idx.len(), k);
+            let mut seen = idx.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), k, "duplicates for n={n} k={k}");
+            assert!(idx.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn distinct_indices_rejects_k_gt_n() {
+        Source::seeded(0).distinct_indices(3, 4);
+    }
+}

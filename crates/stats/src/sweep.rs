@@ -1,0 +1,145 @@
+//! Parameter-sweep helpers: linearly and logarithmically spaced grids.
+//!
+//! Every figure in the reproduction is a sweep over supply voltage or
+//! frequency; these helpers keep grid construction uniform across benches.
+
+/// `n` points linearly spaced over `[lo, hi]`, endpoints included.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the bounds are non-finite or inverted.
+///
+/// # Example
+///
+/// ```
+/// let v = ntc_stats::sweep::linspace(0.4, 1.1, 8);
+/// assert_eq!(v.len(), 8);
+/// assert_eq!(v[0], 0.4);
+/// assert_eq!(v[7], 1.1);
+/// assert!((v[1] - 0.5).abs() < 1e-12);
+/// ```
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "invalid linspace range [{lo}, {hi}]"
+    );
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n)
+        .map(|i| if i == n - 1 { hi } else { lo + i as f64 * step })
+        .collect()
+}
+
+/// `n` points logarithmically spaced over `[lo, hi]`, endpoints included.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, bounds are non-positive, non-finite, or inverted.
+///
+/// # Example
+///
+/// ```
+/// let f = ntc_stats::sweep::logspace(1e3, 1e6, 4);
+/// assert!((f[1] - 1e4).abs() / 1e4 < 1e-12);
+/// ```
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo > 0.0 && lo < hi,
+        "invalid logspace range [{lo}, {hi}]"
+    );
+    linspace(lo.ln(), hi.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+/// Voltage grid with a fixed step in millivolts over `[lo, hi]` (inclusive
+/// when the span is a multiple of the step), matching how the paper's
+/// measurements step the supply.
+///
+/// # Panics
+///
+/// Panics if `step_mv == 0` or the range is invalid.
+///
+/// # Example
+///
+/// ```
+/// let v = ntc_stats::sweep::voltage_grid(0.30, 0.40, 25);
+/// assert_eq!(v, vec![0.300, 0.325, 0.350, 0.375, 0.400]);
+/// ```
+pub fn voltage_grid(lo: f64, hi: f64, step_mv: u32) -> Vec<f64> {
+    assert!(step_mv > 0, "step must be positive");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "invalid voltage range [{lo}, {hi}]"
+    );
+    let step = step_mv as f64 / 1000.0;
+    let n = ((hi - lo) / step + 1e-9).floor() as usize + 1;
+    (0..n)
+        .map(|i| {
+            // Round to a whole millivolt to keep grids exactly reproducible.
+            let v = lo + i as f64 * step;
+            (v * 1000.0).round() / 1000.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_exact() {
+        let v = linspace(0.25, 1.1, 18);
+        assert_eq!(v.len(), 18);
+        assert_eq!(v[0], 0.25);
+        assert_eq!(*v.last().unwrap(), 1.1);
+        for w in v.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linspace_rejects_single_point() {
+        linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid linspace")]
+    fn linspace_rejects_inverted() {
+        linspace(1.0, 0.0, 5);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let v = logspace(1.0, 1024.0, 11);
+        for w in v.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid logspace")]
+    fn logspace_rejects_nonpositive() {
+        logspace(0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn voltage_grid_millivolt_exact() {
+        let v = voltage_grid(0.40, 0.85, 50);
+        assert_eq!(v.first(), Some(&0.40));
+        assert_eq!(v.last(), Some(&0.85));
+        assert_eq!(v.len(), 10);
+        // Every point is a whole millivolt.
+        for &x in &v {
+            assert!((x * 1000.0 - (x * 1000.0).round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn voltage_grid_non_divisible_span_stops_inside() {
+        let v = voltage_grid(0.40, 0.49, 25);
+        assert_eq!(v, vec![0.400, 0.425, 0.450, 0.475]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the numerical substrate.
+
+use ntc_stats::dist::Gaussian;
+use ntc_stats::fit::{fit_power_law, linear_fit};
+use ntc_stats::math::{erf, erfc, inv_phi, ln_erfc, phi};
+use ntc_stats::mc::{Moments, TrialCounter};
+use ntc_stats::rng::Source;
+use ntc_stats::sweep::{linspace, logspace};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn erf_erfc_complement(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 8.0 * f64::EPSILON);
+    }
+
+    #[test]
+    fn erf_odd_symmetry(x in 0.0f64..10.0) {
+        prop_assert_eq!(erf(-x), -erf(x));
+    }
+
+    #[test]
+    fn erfc_bounds(x in -30.0f64..30.0) {
+        let v = erfc(x);
+        prop_assert!((0.0..=2.0).contains(&v));
+    }
+
+    #[test]
+    fn ln_erfc_consistent_where_linear_works(x in -5.0f64..25.0) {
+        let lin = erfc(x);
+        prop_assume!(lin > 0.0);
+        prop_assert!((ln_erfc(x) - lin.ln()).abs() < 1e-9 * lin.ln().abs().max(1.0));
+    }
+
+    #[test]
+    fn phi_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        prop_assume!(a < b);
+        prop_assert!(phi(a) <= phi(b));
+    }
+
+    #[test]
+    fn probit_is_inverse(z in -12.0f64..6.0) {
+        // Near the right tail, p = phi(z) loses absolute resolution
+        // (1 − p shrinks below f64 ulps around z ≈ 8), so the round trip
+        // is only meaningful up to moderate positive z. The deep *left*
+        // tail keeps full relative precision — the side the reliability
+        // math actually uses.
+        let back = inv_phi(phi(z));
+        prop_assert!((back - z).abs() < 1e-7, "z = {z}, back = {back}");
+    }
+
+    #[test]
+    fn gaussian_quantile_cdf_roundtrip(
+        mean in -2.0f64..2.0,
+        sigma in 0.001f64..3.0,
+        p in 1e-12f64..0.999,
+    ) {
+        let g = Gaussian::new(mean, sigma).unwrap();
+        let x = g.quantile(p);
+        prop_assert!((g.cdf(x) / p - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn moments_merge_associative(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..60),
+        split in 0usize..60,
+    ) {
+        let split = split.min(xs.len());
+        let all: Moments = xs.iter().copied().collect();
+        let mut left: Moments = xs[..split].iter().copied().collect();
+        let right: Moments = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn wilson_interval_contains_estimate(trials in 1u64..10_000, frac in 0.0f64..=1.0) {
+        let hits = (trials as f64 * frac) as u64;
+        let mut c = TrialCounter::new();
+        c.record_batch(trials, hits.min(trials));
+        let (lo, hi) = c.wilson_interval(1.96);
+        let p = c.estimate();
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_is_exact_on_lines(
+        slope in -50.0f64..50.0,
+        intercept in -50.0f64..50.0,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.37).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let line = linear_fit(&xs, &ys).unwrap();
+        prop_assert!((line.slope - slope).abs() < 1e-7);
+        prop_assert!((line.intercept - intercept).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_synthetic(
+        a in 0.5f64..20.0,
+        k in 2.0f64..9.0,
+        v0 in 0.4f64..0.9,
+    ) {
+        let vs: Vec<f64> = (0..25).map(|i| v0 - 0.25 + i as f64 * 0.009).collect();
+        let ps: Vec<f64> = vs.iter().map(|&v| a * (v0 - v).powf(k)).collect();
+        let fit = fit_power_law(&vs, &ps, (v0 - 0.003, v0 + 0.12)).unwrap();
+        prop_assert!((fit.v0 - v0).abs() < 0.01, "v0 {} vs {v0}", fit.v0);
+        prop_assert!((fit.exponent - k).abs() < 0.25, "k {} vs {k}", fit.exponent);
+    }
+
+    #[test]
+    fn sweeps_are_sorted_and_bounded(lo in 0.01f64..1.0, span in 0.01f64..2.0, n in 2usize..50) {
+        let hi = lo + span;
+        for grid in [linspace(lo, hi, n), logspace(lo, hi, n)] {
+            prop_assert_eq!(grid.len(), n);
+            prop_assert!(grid.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(grid[0] >= lo - 1e-12 && *grid.last().unwrap() <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomial_within_support(n in 0u64..10_000, p in 0.0f64..=1.0, seed: u64) {
+        let k = Source::seeded(seed).binomial(n, p);
+        prop_assert!(k <= n);
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated(seed: u64) {
+        let mut parent = Source::seeded(seed);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let same = (0..16).filter(|_| a.uniform() == b.uniform()).count();
+        prop_assert!(same < 2);
+    }
+}

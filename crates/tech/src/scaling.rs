@@ -1,0 +1,127 @@
+//! Cross-node and cross-capacity normalizations.
+//!
+//! The paper's Table 1 compares memories published at different capacities
+//! and nodes by scaling them to a common 1k × 32 b / 40 nm reference; its
+//! footnotes define the rules implemented here:
+//!
+//! * `*2` — "scaled to same number of bits": energy and leakage scale
+//!   linearly with bit count ([`scale_by_bits`]).
+//! * `*3` — "scaled ∝ total bits": area scales linearly with bit count
+//!   ([`scale_by_bits`]).
+//! * `*4` — "scaled ∝ technology (40nm/65nm)²": area scales with the square
+//!   of the node ratio ([`area_node_factor`]).
+
+/// Linear bit-count scaling factor from a published capacity to a target
+/// capacity: `target_bits / source_bits`.
+///
+/// # Panics
+///
+/// Panics if either bit count is zero.
+///
+/// # Example
+///
+/// ```
+/// // A 4 kb macro scaled to 32 kb (1k x 32b) grows 8x.
+/// let f = ntc_tech::scaling::scale_by_bits(4 * 1024, 32 * 1024);
+/// assert_eq!(f, 8.0);
+/// ```
+pub fn scale_by_bits(source_bits: u64, target_bits: u64) -> f64 {
+    assert!(source_bits > 0 && target_bits > 0, "bit counts must be nonzero");
+    target_bits as f64 / source_bits as f64
+}
+
+/// Quadratic node scaling factor for area: `(target_nm / source_nm)²`.
+///
+/// # Panics
+///
+/// Panics if either node size is not finite and positive.
+///
+/// # Example
+///
+/// ```
+/// // Table 1 footnote *4: 65 nm area quoted at 40 nm shrinks by (40/65)².
+/// let f = ntc_tech::scaling::area_node_factor(65.0, 40.0);
+/// assert!((f - 0.3787).abs() < 1e-3);
+/// ```
+pub fn area_node_factor(source_nm: f64, target_nm: f64) -> f64 {
+    assert!(
+        source_nm.is_finite() && source_nm > 0.0 && target_nm.is_finite() && target_nm > 0.0,
+        "node sizes must be positive"
+    );
+    let r = target_nm / source_nm;
+    r * r
+}
+
+/// Linear node scaling factor for capacitance-like quantities:
+/// `target_nm / source_nm`.
+///
+/// # Panics
+///
+/// Panics if either node size is not finite and positive.
+pub fn linear_node_factor(source_nm: f64, target_nm: f64) -> f64 {
+    assert!(
+        source_nm.is_finite() && source_nm > 0.0 && target_nm.is_finite() && target_nm > 0.0,
+        "node sizes must be positive"
+    );
+    target_nm / source_nm
+}
+
+/// Dynamic-energy scaling with supply voltage: `(v_to / v_from)²`
+/// (energy per switched capacitance is `C·V²`).
+///
+/// # Panics
+///
+/// Panics if either voltage is not finite and positive.
+///
+/// # Example
+///
+/// ```
+/// // Scaling 1.1 V dynamic energy to 0.4 V keeps ~13 % of it.
+/// let f = ntc_tech::scaling::dynamic_voltage_factor(1.1, 0.4);
+/// assert!((f - 0.1322).abs() < 1e-3);
+/// ```
+pub fn dynamic_voltage_factor(v_from: f64, v_to: f64) -> f64 {
+    assert!(
+        v_from.is_finite() && v_from > 0.0 && v_to.is_finite() && v_to > 0.0,
+        "voltages must be positive"
+    );
+    let r = v_to / v_from;
+    r * r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_scaling_identity() {
+        assert_eq!(scale_by_bits(1024, 1024), 1.0);
+        assert_eq!(scale_by_bits(1024, 2048), 2.0);
+        assert_eq!(scale_by_bits(2048, 1024), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn bits_scaling_rejects_zero() {
+        scale_by_bits(0, 10);
+    }
+
+    #[test]
+    fn node_factors() {
+        assert!((area_node_factor(65.0, 40.0) - (40.0f64 / 65.0).powi(2)).abs() < 1e-15);
+        assert_eq!(area_node_factor(40.0, 40.0), 1.0);
+        assert_eq!(linear_node_factor(40.0, 20.0), 0.5);
+    }
+
+    #[test]
+    fn voltage_factor_quadratic() {
+        assert!((dynamic_voltage_factor(1.0, 0.5) - 0.25).abs() < 1e-15);
+        assert_eq!(dynamic_voltage_factor(0.7, 0.7), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn voltage_factor_rejects_zero() {
+        dynamic_voltage_factor(0.0, 1.0);
+    }
+}

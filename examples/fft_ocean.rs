@@ -1,0 +1,61 @@
+//! The paper's Section V experiment, end to end: run the 1K-point FFT
+//! under all three mitigation policies at their solved voltages and print
+//! the Figure 8-style power breakdown.
+//!
+//! ```text
+//! cargo run --release -p ntc --example fft_ocean
+//! ```
+
+use ntc::experiments::{figure8, headline};
+
+fn main() {
+    println!("1K-point FFT at 290 kHz, cell-based 40nm memory (Figure 8):");
+    println!(
+        "{:<16} {:>6} {:>12} {:>12} {:>12} {:>8} {:>9}",
+        "policy", "VDD", "dyn [µW]", "leak [µW]", "total [µW]", "exact", "repairs"
+    );
+    for r in figure8() {
+        println!(
+            "{:<16} {:>4.2} V {:>12.4} {:>12.4} {:>12.4} {:>8} {:>9}",
+            r.policy.to_string(),
+            r.vdd,
+            r.dynamic_power_w() * 1e6,
+            (r.total_power_w() - r.dynamic_power_w()) * 1e6,
+            r.total_power_w() * 1e6,
+            if r.is_exact() { "yes" } else { "NO" },
+            r.repaired,
+        );
+        for m in &r.modules {
+            println!(
+                "    {:<12} {:>12.4} {:>12.4}",
+                m.name,
+                m.dynamic_w * 1e6,
+                m.leakage_w * 1e6
+            );
+        }
+    }
+
+    let h = headline();
+    println!();
+    println!("Headline savings (paper's claims in parentheses):");
+    println!(
+        "  OCEAN vs no mitigation @290 kHz : {:>5.1} %  (paper: up to 70 %)",
+        h.ocean_vs_none_290khz * 100.0
+    );
+    println!(
+        "  OCEAN vs ECC           @290 kHz : {:>5.1} %  (paper: up to 48 %)",
+        h.ocean_vs_ecc_290khz * 100.0
+    );
+    println!(
+        "  OCEAN vs no mitigation @11 MHz  : {:>5.1} %  (paper: 34 %)",
+        h.ocean_vs_none_11mhz * 100.0
+    );
+    println!(
+        "  OCEAN vs ECC           @11 MHz  : {:>5.1} %  (paper: 26 %)",
+        h.ocean_vs_ecc_11mhz * 100.0
+    );
+    println!(
+        "  dynamic power gain beyond V0    : {:>5.2}x (paper: 3.3x)",
+        h.dynamic_power_gain
+    );
+}

@@ -1,0 +1,47 @@
+//! Section VI's technology outlook: inverter delay and spread vs. supply
+//! voltage on the 14 nm finFET and 10 nm multi-gate cards (Figure 10),
+//! next to the paper's 40 nm measurement node.
+//!
+//! ```text
+//! cargo run --release -p ntc --example finfet_outlook
+//! ```
+
+use ntc_stats::sweep::voltage_grid;
+use ntc_tech::card;
+use ntc_tech::inverter::Inverter;
+
+fn main() {
+    let nodes = [card::n40lp(), card::n14finfet(), card::n10gaa()];
+    let inverters: Vec<Inverter> = nodes.iter().map(Inverter::fo4).collect();
+
+    println!("FO4 inverter delay (mean / sigma-over-mean) vs supply:");
+    print!("{:>6}", "VDD");
+    for node in &nodes {
+        print!(" | {:>22}", node.name());
+    }
+    println!();
+    for vdd in voltage_grid(0.25, 1.0, 50) {
+        print!("{vdd:>5.2}V");
+        for (inv, node) in inverters.iter().zip(&nodes) {
+            if vdd > node.vdd_nominal() {
+                print!(" | {:>22}", "—");
+                continue;
+            }
+            let pt = inv.delay(vdd);
+            let rel = inv.relative_sigma(vdd);
+            print!(" | {:>11.2} ps {:>5.1} %", pt * 1e12, rel * 100.0);
+        }
+        println!();
+    }
+
+    // The paper's headline: 14 nm → 10 nm is ~2x faster.
+    let inv14 = &inverters[1];
+    let inv10 = &inverters[2];
+    println!();
+    for vdd in [0.4, 0.5, 0.6, 0.7] {
+        println!(
+            "speedup 14nm -> 10nm at {vdd} V: {:.2}x",
+            inv14.delay(vdd) / inv10.delay(vdd)
+        );
+    }
+}

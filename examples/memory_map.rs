@@ -1,0 +1,45 @@
+//! Figure 3 as ASCII art: synthesize one die of each memory style and
+//! render which bits fail retention as the supply steps down.
+//!
+//! ```text
+//! cargo run --release -p ntc --example memory_map [seed]
+//! ```
+
+use ntc_sram::diemap::{DieMap, DieMapConfig};
+use ntc_sram::failure::RetentionLaw;
+use ntc_stats::rng::Source;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+
+    let styles = [
+        ("commercial 6T", RetentionLaw::commercial_40nm()),
+        ("cell-based AOI", RetentionLaw::cell_based_40nm()),
+    ];
+
+    for (name, law) in styles {
+        // A 1k x 32b instance drawn as 128 x 256 bits.
+        let cfg = DieMapConfig::new(128, 256, law);
+        let die = DieMap::synthesize(&cfg, &mut Source::seeded(seed));
+        println!("=== {name}: minimal retention voltage map ===");
+        println!("worst bit retains only above {:.3} V", die.min_retention_supply());
+        for vdd in [
+            die.min_retention_supply() - 0.005,
+            law.mean() + 2.0 * law.sigma(),
+            law.mean() + law.sigma(),
+        ] {
+            let failures = die.failure_count(vdd);
+            println!(
+                "\nat {:.3} V: {} failing bits (BER {:.2e})",
+                vdd,
+                failures,
+                die.ber(vdd)
+            );
+            print!("{}", die.render_ascii(vdd, 64));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: solve the paper's Table 2 and run one mitigated workload.
+//!
+//! ```text
+//! cargo run --release -p ntc --example quickstart
+//! ```
+
+use ntc::experiments::{run_experiment, ExperimentConfig, MitigationPolicy};
+use ntc::fit::{paper_platform_f_max, FitSolver, Scheme, VoltageGrid};
+use ntc_sram::AccessLaw;
+
+fn main() {
+    // 1. Where can the memory go? Solve the minimum supply voltage per
+    //    mitigation scheme at the paper's FIT budget of 1e-15/transaction.
+    let solver =
+        FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
+
+    println!("Minimum supply voltage, cell-based 40nm memory (Table 2):");
+    println!("{:<16} {:>10} {:>10}", "scheme", "290 kHz", "1.96 MHz");
+    for scheme in Scheme::ALL {
+        let slow = solver.solve(scheme, 290e3, paper_platform_f_max);
+        let fast = solver.solve(scheme, 1.96e6, paper_platform_f_max);
+        println!(
+            "{:<16} {:>8.2} V {:>8.2} V",
+            scheme.to_string(),
+            slow.operating,
+            fast.operating
+        );
+    }
+
+    // 2. Run the 1K-point FFT under OCEAN at its solved voltage and show
+    //    that the answer is still bit-exact.
+    let vdd = solver.min_voltage(Scheme::Ocean);
+    let result = run_experiment(&ExperimentConfig::cell_based(
+        MitigationPolicy::Ocean,
+        vdd,
+        290e3,
+    ));
+    println!();
+    println!("1K-point FFT under OCEAN at {vdd} V:");
+    println!("  exact output words : {}/{}", result.correct_words, result.total_words);
+    println!("  errors recovered   : {}", result.repaired);
+    println!("  total power        : {:.3} µW", result.total_power_w() * 1e6);
+    assert!(result.is_exact(), "OCEAN must deliver an exact result");
+}

@@ -1,0 +1,64 @@
+//! Voltage design-space explorer: sweep the supply and print, for each
+//! mitigation scheme, the word-failure probability, whether the FIT budget
+//! holds, and the platform energy trend — the reasoning loop a designer
+//! would run with the paper's "memory calculator".
+//!
+//! ```text
+//! cargo run --release -p ntc --example voltage_explorer [fit_exponent]
+//! ```
+//!
+//! The optional argument sets the FIT budget as `1e-<exponent>`
+//! (default 15, the paper's value).
+
+use ntc::fit::{FitSolver, Scheme, VoltageGrid};
+use ntc_memcalc::soc::SocEnergyModel;
+use ntc_sram::failure::AccessLaw;
+use ntc_sram::words::WordErrorModel;
+use ntc_stats::sweep::voltage_grid;
+
+fn main() {
+    let exponent: i32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let fit = 10f64.powi(-exponent);
+    let law = AccessLaw::cell_based_40nm();
+    let solver = FitSolver::new(law, fit).with_grid(VoltageGrid::Exact);
+    let soc = SocEnergyModel::exg_processor_cell_based_40nm();
+
+    println!("FIT budget: {fit:.1e} per transaction, cell-based 40nm memory\n");
+    println!(
+        "{:>6} {:>12} {:>11} {:>11} {:>11} {:>12}",
+        "VDD", "p_bit", "no-mit ok", "SECDED ok", "OCEAN ok", "E/cyc [pJ]"
+    );
+    for vdd in voltage_grid(0.30, 0.60, 20) {
+        let p = law.p_bit(vdd);
+        let ok = |scheme: Scheme| {
+            let w = WordErrorModel::new(scheme.word_bits());
+            if w.p_word_failure(scheme.correctable_bits(), p) <= fit {
+                "yes"
+            } else {
+                "no"
+            }
+        };
+        let energy = soc.operating_point(vdd).total_j();
+        println!(
+            "{:>5.2}V {:>12.3e} {:>11} {:>11} {:>11} {:>12.2}",
+            vdd,
+            p,
+            ok(Scheme::NoMitigation),
+            ok(Scheme::Secded),
+            ok(Scheme::Ocean),
+            energy * 1e12
+        );
+    }
+
+    println!();
+    for scheme in Scheme::ALL {
+        println!(
+            "minimum voltage for {:<14}: {:.3} V",
+            scheme.to_string(),
+            solver.error_constrained_voltage(scheme)
+        );
+    }
+}

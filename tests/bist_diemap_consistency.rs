@@ -1,0 +1,125 @@
+//! Closing the measurement loop: the *statistical* die map (ntc-sram) and
+//! the *functional* March C- shmoo (ntc-sim) must agree.
+//!
+//! A synthetic die assigns every bit a minimal retention voltage; a memory
+//! backend gates each bit on that voltage (cells above the supply read
+//! stuck at zero); the BIST shmoo then measures, per word, the lowest
+//! supply at which the word passes — which must equal the word's worst
+//! bit's retention voltage, up to grid resolution. This is exactly how the
+//! paper's Figure 3 maps are taken on silicon.
+
+use ntc_sim::bist::{march_cminus, shmoo};
+use ntc_sim::memory::{DataPort, MemoryFault};
+use ntc_sram::diemap::{DieMap, DieMapConfig};
+use ntc_sram::failure::RetentionLaw;
+use ntc_stats::rng::Source;
+
+/// A memory whose bits are gated by a die map: any cell whose retention
+/// voltage exceeds the supply is stuck at zero.
+struct RetentionGatedMemory<'a> {
+    die: &'a DieMap,
+    vdd: f64,
+    data: Vec<u32>,
+    words: usize,
+}
+
+impl<'a> RetentionGatedMemory<'a> {
+    fn new(die: &'a DieMap, vdd: f64) -> Self {
+        // Each word takes 32 consecutive map cells (row-major).
+        let words = die.bits() / 32;
+        Self {
+            die,
+            vdd,
+            data: vec![0; words],
+            words,
+        }
+    }
+
+    fn stuck_mask(&self, word_index: usize) -> u32 {
+        let mut mask = 0u32;
+        for bit in 0..32 {
+            let cell = word_index * 32 + bit;
+            let (r, c) = (cell / self.die.cols(), cell % self.die.cols());
+            if self.die.v_ret(r, c) > self.vdd {
+                mask |= 1 << bit;
+            }
+        }
+        mask
+    }
+}
+
+impl DataPort for RetentionGatedMemory<'_> {
+    fn read(&mut self, word_index: usize) -> Result<u32, MemoryFault> {
+        Ok(self.data[word_index] & !self.stuck_mask(word_index))
+    }
+
+    fn write(&mut self, word_index: usize, value: u32) -> Result<(), MemoryFault> {
+        self.data[word_index] = value & !self.stuck_mask(word_index);
+        Ok(())
+    }
+
+    fn words(&self) -> usize {
+        self.words
+    }
+}
+
+#[test]
+fn shmoo_measures_exactly_the_die_maps_worst_bits() {
+    let cfg = DieMapConfig::new(32, 32, RetentionLaw::cell_based_40nm());
+    let die = DieMap::synthesize(&cfg, &mut Source::seeded(2024));
+    let words = die.bits() / 32;
+
+    // Analytic ground truth: per-word worst-bit retention voltage.
+    let truth: Vec<f64> = (0..words)
+        .map(|w| {
+            (0..32)
+                .map(|b| {
+                    let cell = w * 32 + b;
+                    die.v_ret(cell / die.cols(), cell % die.cols())
+                })
+                .fold(f64::MIN, f64::max)
+        })
+        .collect();
+
+    // Functional measurement on a 5 mV grid covering the die.
+    let lo = 0.16;
+    let hi = die.min_retention_supply() + 0.01;
+    let steps = ((hi - lo) / 0.005).ceil() as usize + 1;
+    let grid: Vec<f64> = (0..steps).map(|i| lo + i as f64 * 0.005).collect();
+    let measured = shmoo(words, &grid, |vdd| RetentionGatedMemory::new(&die, vdd));
+
+    for (w, (m, &t)) in measured.iter().zip(&truth).enumerate() {
+        let m = m.unwrap_or_else(|| panic!("word {w} failed at every voltage"));
+        // The measured minimal pass voltage is the first grid point at or
+        // above the word's worst bit.
+        assert!(
+            m >= t && m - t <= 0.005 + 1e-9,
+            "word {w}: measured {m:.4}, truth {t:.4}"
+        );
+    }
+}
+
+#[test]
+fn a_single_planted_weak_cell_is_pinpointed() {
+    // The inverse direction: BIST locates the exact bit of a weak cell.
+    let cfg = DieMapConfig::new(8, 32, RetentionLaw::cell_based_40nm());
+    let die = DieMap::synthesize(&cfg, &mut Source::seeded(7));
+    let vdd = die.min_retention_supply() - 0.001;
+    let worst = die
+        .failing_bits(vdd)
+        .into_iter()
+        .next()
+        .expect("one bit fails just below the worst-bit supply");
+    let mut mem = RetentionGatedMemory::new(&die, vdd);
+    let report = march_cminus(&mut mem, 0xFFFF_FFFF);
+    assert!(!report.passed());
+    let cell = worst.0 * die.cols() + worst.1;
+    let (want_word, want_bit) = (cell / 32, cell % 32);
+    let located = report.failing_bits();
+    assert!(
+        located
+            .iter()
+            .any(|&(w, mask)| w == want_word && mask >> want_bit & 1 == 1),
+        "expected word {want_word} bit {want_bit} in {located:?}"
+    );
+}

@@ -1,0 +1,154 @@
+//! Property-based tests spanning crate boundaries.
+
+use ntc_ecc::interleave::InterleavedCode;
+use ntc_ecc::secded::Secded;
+use ntc_sim::asm::{assemble, assemble_instructions};
+use ntc_sim::fft::{fft_fixed, fft_program, pack, twiddle_table, unpack};
+use ntc_sim::isa::Instruction;
+use ntc_sim::machine::Core;
+use ntc_sim::memory::RawMemory;
+use ntc_sram::failure::{AccessLaw, RetentionLaw};
+use ntc_sram::words::WordErrorModel;
+use ntc_stats::math::{inv_phi, phi};
+use proptest::prelude::*;
+
+proptest! {
+    /// Φ and its inverse are mutual inverses over the whole open interval.
+    #[test]
+    fn probit_round_trip(p in 1e-300f64..1.0) {
+        let x = inv_phi(p);
+        let back = phi(x);
+        prop_assert!((back / p - 1.0).abs() < 1e-8, "p = {p}, back = {back}");
+    }
+
+    /// The (39,32) code corrects any single flip on any data word.
+    #[test]
+    fn secded_corrects_any_single_flip(data: u32, bit in 0u32..39) {
+        let code = Secded::new(32).unwrap();
+        let cw = code.encode(data as u64) ^ (1u128 << bit);
+        prop_assert_eq!(code.decode(cw).data(), Some(data as u64));
+    }
+
+    /// …and detects any double flip.
+    #[test]
+    fn secded_detects_any_double_flip(data: u32, a in 0u32..39, b in 0u32..39) {
+        prop_assume!(a != b);
+        let code = Secded::new(32).unwrap();
+        let cw = code.encode(data as u64) ^ (1u128 << a) ^ (1u128 << b);
+        prop_assert!(code.decode(cw).is_detected_failure());
+    }
+
+    /// The interleaved buffer corrects any ≤4-bit burst anywhere.
+    #[test]
+    fn interleaved_corrects_any_short_burst(data: u32, start in 0u32..48, len in 1u32..=4) {
+        let code = InterleavedCode::new(32, 4).unwrap();
+        prop_assume!(start + len <= code.codeword_bits());
+        let mask = ((1u128 << len) - 1) << start;
+        let out = code.decode(code.encode(data as u64) ^ mask);
+        prop_assert_eq!(out.data(), Some(data as u64));
+    }
+
+    /// Word-failure probability is monotone in both p and the correction
+    /// capability.
+    #[test]
+    fn word_failure_monotonicities(p1 in 0.0f64..0.4, p2 in 0.0f64..0.4, t in 0u32..5) {
+        let w = WordErrorModel::new(39);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(w.p_word_failure(t, lo) <= w.p_word_failure(t, hi) + 1e-15);
+        prop_assert!(w.p_word_failure(t + 1, p1) <= w.p_word_failure(t, p1) + 1e-15);
+    }
+
+    /// Both failure laws are monotone non-increasing in supply voltage.
+    #[test]
+    fn failure_laws_monotone(v1 in 0.05f64..1.2, v2 in 0.05f64..1.2) {
+        prop_assume!(v1 < v2);
+        let acc = AccessLaw::cell_based_40nm();
+        prop_assert!(acc.p_bit(v1) >= acc.p_bit(v2));
+        let ret = RetentionLaw::commercial_40nm();
+        prop_assert!(ret.p_bit(v1) >= ret.p_bit(v2));
+    }
+
+    /// Every instruction the ISA can encode survives
+    /// encode → display → assemble → encode unchanged.
+    #[test]
+    fn assembler_round_trips_displayed_instructions(
+        op in 0usize..10, a in 0u8..16, b in 0u8..16, c in 0u8..16,
+    ) {
+        use ntc_sim::isa::Reg;
+        let r = Reg::new;
+        let insn = match op {
+            0 => Instruction::Add { rd: r(a), rs1: r(b), rs2: r(c) },
+            1 => Instruction::Sub { rd: r(a), rs1: r(b), rs2: r(c) },
+            2 => Instruction::Xor { rd: r(a), rs1: r(b), rs2: r(c) },
+            3 => Instruction::Mul { rd: r(a), rs1: r(b), rs2: r(c) },
+            4 => Instruction::Slt { rd: r(a), rs1: r(b), rs2: r(c) },
+            5 => Instruction::Addi { rd: r(a), rs1: r(b), imm: c as i16 - 8 },
+            6 => Instruction::Lw { rd: r(a), rs1: r(b), imm: (c as i16) * 4 },
+            7 => Instruction::Sw { rs2: r(a), rs1: r(b), imm: (c as i16) * 4 },
+            8 => Instruction::Sll { rd: r(a), rs1: r(b), rs2: r(c) },
+            _ => Instruction::Or { rd: r(a), rs1: r(b), rs2: r(c) },
+        };
+        let text = insn.to_string();
+        let assembled = assemble_instructions(&text).expect("display is valid syntax");
+        prop_assert_eq!(assembled, vec![insn]);
+    }
+
+    /// Q15 packing is lossless.
+    #[test]
+    fn pack_unpack_lossless(re: i16, im: i16) {
+        prop_assert_eq!(unpack(pack(re, im)), (re, im));
+    }
+
+    /// Random arithmetic programs compute the same values on the simulated
+    /// core as natively (differential testing of the ALU).
+    #[test]
+    fn alu_differential(x: i32, y in 1i32..1000) {
+        let src = format!(
+            "li r1, {x}
+             li r2, {y}
+             add r3, r1, r2
+             sub r4, r1, r2
+             mul r5, r1, r2
+             sw r3, 0(r0)
+             sw r4, 4(r0)
+             sw r5, 8(r0)
+             halt"
+        );
+        let program = assemble(&src).unwrap();
+        let mut mem = RawMemory::new(4);
+        Core::new().run(&program, &mut mem, 10_000).unwrap();
+        prop_assert_eq!(mem.load(0), x.wrapping_add(y) as u32);
+        prop_assert_eq!(mem.load(1), x.wrapping_sub(y) as u32);
+        prop_assert_eq!(mem.load(2), x.wrapping_mul(y) as u32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The generated assembly FFT matches the native model for random
+    /// inputs and several sizes (expensive; few cases).
+    #[test]
+    fn fft_asm_matches_native_for_random_inputs(seed: u64, size_sel in 0usize..3) {
+        let n = [16, 64, 128][size_sel];
+        let program = assemble(&fft_program(n)).unwrap();
+        let mut mem = RawMemory::new((n * 2).max(64));
+        let input: Vec<u32> = {
+            let mut src = ntc_stats::rng::Source::seeded(seed);
+            (0..n).map(|_| pack(
+                src.uniform_in(-16000.0, 16000.0) as i16,
+                src.uniform_in(-16000.0, 16000.0) as i16,
+            )).collect()
+        };
+        let tw = twiddle_table(n);
+        for (i, &w) in input.iter().chain(tw.iter()).enumerate() {
+            mem.store(i, w);
+        }
+        Core::new().run(&program, &mut mem, 100_000_000).unwrap();
+        let mut golden = input;
+        fft_fixed(&mut golden, &tw);
+        for (i, &g) in golden.iter().enumerate() {
+            prop_assert_eq!(mem.load(i), g, "word {}", i);
+        }
+    }
+}

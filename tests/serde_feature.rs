@@ -1,0 +1,44 @@
+//! Compile-time verification that the workspace's data-structure types
+//! implement Serde's traits when the `serde` feature is enabled
+//! (C-SERDE). Run with `cargo test -p ntc --features serde`.
+
+#![cfg(feature = "serde")]
+
+fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+
+#[test]
+fn result_types_are_serde() {
+    assert_serde::<ntc::experiments::ExperimentResult>();
+    assert_serde::<ntc::experiments::ModulePower>();
+    assert_serde::<ntc::experiments::Headline>();
+    assert_serde::<ntc::experiments::MitigationPolicy>();
+    assert_serde::<ntc::experiments::Workload>();
+    assert_serde::<ntc::fit::Scheme>();
+    assert_serde::<ntc::fit::SolvedVoltage>();
+    assert_serde::<ntc::monitor::ControlPoint>();
+    assert_serde::<ntc::standby::StandbyPoint>();
+    assert_serde::<ntc::calculator::FiguresOfMerit>();
+    assert_serde::<ntc::parallel::ParallelPoint>();
+}
+
+#[test]
+fn model_types_are_serde() {
+    assert_serde::<ntc_sram::failure::AccessLaw>();
+    assert_serde::<ntc_sram::failure::RetentionLaw>();
+    assert_serde::<ntc_sram::styles::CellStyle>();
+    assert_serde::<ntc_sram::words::WordErrorModel>();
+    assert_serde::<ntc_sram::words::CorrelatedWordModel>();
+    assert_serde::<ntc_tech::inverter::DelayPoint>();
+    assert_serde::<ntc_tech::corners::MarginStack>();
+    assert_serde::<ntc_tech::corners::Corner>();
+    assert_serde::<ntc_memcalc::designs::Table1Row>();
+    assert_serde::<ntc_memcalc::soc::OperatingPoint>();
+    assert_serde::<ntc_stats::fit::Line>();
+    assert_serde::<ntc_stats::fit::PowerLawFit>();
+    assert_serde::<ntc_stats::Gaussian>();
+    assert_serde::<ntc_sim::machine::RunOutcome>();
+    assert_serde::<ntc_sim::profile::Profile>();
+    assert_serde::<ntc_sim::bist::BistReport>();
+    assert_serde::<ntc_sim::dma::DmaStats>();
+    assert_serde::<ntc_ocean::runtime::OceanStats>();
+}
