@@ -15,6 +15,12 @@ fn bench(c: &mut Criterion) {
         let mut src = Source::seeded(1);
         b.iter(|| black_box(DieMap::synthesize(&cfg, &mut src)))
     });
+    g.bench_function("nine_die_population_serial", |b| {
+        b.iter(|| black_box(DieMap::synthesize_population_serial(&cfg, 9, 4)))
+    });
+    g.bench_function("nine_die_population_parallel", |b| {
+        b.iter(|| black_box(DieMap::synthesize_population(&cfg, 9, 4)))
+    });
     let dies = DieMap::synthesize_population(&cfg, 9, 4);
     g.bench_function("population_ber_curve", |b| {
         b.iter(|| {
@@ -25,6 +31,10 @@ fn bench(c: &mut Criterion) {
             }
             black_box(acc)
         })
+    });
+    g.bench_function("population_ber_curve_parallel", |b| {
+        let grid: Vec<f64> = (0..12).map(|i| 0.14 + i as f64 * 0.02).collect();
+        b.iter(|| black_box(DieMap::population_ber_curve(&dies, &grid)))
     });
     g.bench_function("probit_fit", |b| {
         let law = RetentionLaw::cell_based_40nm();

@@ -20,6 +20,10 @@ fn bench(c: &mut Criterion) {
             black_box(flips)
         })
     });
+    g.bench_function("mc_ber_sweep_parallel", |b| {
+        let grid: Vec<f64> = (0..12).map(|i| 0.30 + i as f64 * 0.02).collect();
+        b.iter(|| black_box(law.mc_ber_sweep(&grid, 20_000, 9)))
+    });
     g.bench_function("power_law_fit", |b| {
         let vs: Vec<f64> = (0..20).map(|i| 0.30 + i as f64 * 0.012).collect();
         let ps: Vec<f64> = vs.iter().map(|&v| law.p_bit(v)).collect();

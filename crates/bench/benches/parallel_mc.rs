@@ -1,0 +1,102 @@
+//! Serial vs. parallel wall-clock comparison for the two hot paths named
+//! in the acceptance criteria — fig4's nine-die synthesis and table2's
+//! voltage grid search — plus a determinism audit: the parallel results
+//! must be byte-identical to the serial ones.
+//!
+//! Unlike the criterion benches, this harness writes a machine-readable
+//! summary to `BENCH_parallel_mc.json` at the repository root so the
+//! speedup and the identity check are recorded per run.
+
+use ntc::fit::{paper_platform_cache_stats, paper_platform_f_max, FitSolver, VoltageGrid};
+use ntc_sram::failure::{AccessLaw, RetentionLaw};
+use ntc_sram::{DieMap, DieMapConfig};
+use ntc_stats::exec::threads;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // Scale the die population up from the paper's nine so the parallel
+    // section has enough work per shard to amortize thread spawn.
+    let cfg = DieMapConfig::new(256, 512, RetentionLaw::cell_based_40nm());
+    let dies_n = 36;
+    let seed = 4;
+    let reps = 7;
+
+    let t_serial_fig4 = time_median(reps, || {
+        DieMap::synthesize_population_serial(&cfg, dies_n, seed)
+    });
+    let t_parallel_fig4 = time_median(reps, || DieMap::synthesize_population(&cfg, dies_n, seed));
+    let fig4_identical = DieMap::synthesize_population(&cfg, dies_n, seed)
+        == DieMap::synthesize_population_serial(&cfg, dies_n, seed);
+
+    let solver =
+        FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
+    let freqs: Vec<f64> = (0..24).map(|i| 290e3 * 1.2f64.powi(i)).collect();
+    let t_serial_table2 = time_median(reps, || {
+        freqs
+            .iter()
+            .map(|&f| solver.table_row_serial(f, paper_platform_f_max))
+            .collect::<Vec<_>>()
+    });
+    let t_parallel_table2 = time_median(reps, || solver.table(&freqs, paper_platform_f_max));
+    let table2_identical = solver.table(&freqs, paper_platform_f_max)
+        == freqs
+            .iter()
+            .map(|&f| solver.table_row_serial(f, paper_platform_f_max))
+            .collect::<Vec<_>>();
+    let cache = paper_platform_cache_stats();
+
+    let threads = threads();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"threads\": {},\n",
+            "  \"fig4_nine_die_synthesis\": {{\n",
+            "    \"dies\": {}, \"rows\": 256, \"cols\": 512,\n",
+            "    \"serial_ms\": {:.3}, \"parallel_ms\": {:.3},\n",
+            "    \"speedup\": {:.2}, \"identical\": {}\n",
+            "  }},\n",
+            "  \"table2_grid_search\": {{\n",
+            "    \"frequencies\": {}, \"schemes\": 3,\n",
+            "    \"serial_ms\": {:.3}, \"parallel_ms\": {:.3},\n",
+            "    \"speedup\": {:.2}, \"identical\": {},\n",
+            "    \"f_max_cache_hits\": {}, \"f_max_cache_misses\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        threads,
+        dies_n,
+        t_serial_fig4 * 1e3,
+        t_parallel_fig4 * 1e3,
+        t_serial_fig4 / t_parallel_fig4,
+        fig4_identical,
+        freqs.len(),
+        t_serial_table2 * 1e3,
+        t_parallel_table2 * 1e3,
+        t_serial_table2 / t_parallel_table2,
+        table2_identical,
+        cache.hits,
+        cache.misses,
+    );
+    print!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_mc.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("could not write {out}: {e}");
+    }
+
+    assert!(fig4_identical, "parallel fig4 population diverged from serial");
+    assert!(table2_identical, "parallel table2 diverged from serial");
+}

@@ -16,6 +16,13 @@ fn bench(c: &mut Criterion) {
     g.bench_function("full_row_with_performance", |b| {
         b.iter(|| black_box(solver.table_row(1.96e6, paper_platform_f_max)))
     });
+    g.bench_function("full_row_serial", |b| {
+        b.iter(|| black_box(solver.table_row_serial(1.96e6, paper_platform_f_max)))
+    });
+    g.bench_function("full_table_parallel", |b| {
+        let freqs = [290e3, 1.96e6, 11e6];
+        b.iter(|| black_box(solver.table(&freqs, paper_platform_f_max)))
+    });
     g.finish();
 }
 

@@ -18,6 +18,7 @@ use ntc_sim::memory::{FaultInjector, ProtectedMemory, RawMemory, SecdedMemory};
 use ntc_sim::platform::{Platform, PlatformConfig, Protection};
 use ntc_sram::failure::AccessLaw;
 use ntc_sram::styles::CellStyle;
+use ntc_stats::exec::par_map_slice;
 use std::fmt;
 
 /// A mitigation policy under test.
@@ -391,30 +392,29 @@ fn finish(
 
 /// The Figure 8 experiment: 290 kHz on the cell-based memory at the
 /// Table 2 voltages (0.55 / 0.44 / 0.33 V).
+///
+/// The three mitigation policies run concurrently via the parallel
+/// engine; [`run_experiment`] is a pure function of its config (all
+/// randomness is seeded inside), so the rows are identical to a serial
+/// map and come back in policy order.
 pub fn figure8() -> Vec<ExperimentResult> {
     let solver =
         FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
-    MitigationPolicy::ALL
-        .iter()
-        .map(|&policy| {
-            let vdd = solver.min_voltage(policy.scheme());
-            run_experiment(&ExperimentConfig::cell_based(policy, vdd, 290e3))
-        })
-        .collect()
+    par_map_slice(&MitigationPolicy::ALL, |&policy| {
+        let vdd = solver.min_voltage(policy.scheme());
+        run_experiment(&ExperimentConfig::cell_based(policy, vdd, 290e3))
+    })
 }
 
 /// The Figure 9 experiment: 11 MHz on the commercial memory at
-/// 0.88 / 0.77 / 0.66 V.
+/// 0.88 / 0.77 / 0.66 V. Policies run concurrently, as in [`figure8`].
 pub fn figure9() -> Vec<ExperimentResult> {
     let solver =
         FitSolver::new(AccessLaw::commercial_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
-    MitigationPolicy::ALL
-        .iter()
-        .map(|&policy| {
-            let vdd = solver.min_voltage(policy.scheme());
-            run_experiment(&ExperimentConfig::commercial(policy, vdd, 11e6))
-        })
-        .collect()
+    par_map_slice(&MitigationPolicy::ALL, |&policy| {
+        let vdd = solver.min_voltage(policy.scheme());
+        run_experiment(&ExperimentConfig::commercial(policy, vdd, 11e6))
+    })
 }
 
 /// The abstract's headline ratios, measured on this reproduction.

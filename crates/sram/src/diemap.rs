@@ -17,6 +17,7 @@
 //! [`RetentionLaw`] used to synthesize it (verified by test).
 
 use crate::failure::RetentionLaw;
+use ntc_stats::exec::{par_map, par_map_slice};
 use ntc_stats::rng::Source;
 use std::fmt;
 
@@ -183,17 +184,36 @@ impl DieMap {
     }
 
     /// Synthesizes a population of `n` dies (the paper measured nine),
-    /// each from an independent child stream of `seed`.
+    /// each from an independent counter-based stream of `seed`, fanned
+    /// across cores by the parallel engine.
+    ///
+    /// Die `i` draws from `Source::stream(seed, i)` — a pure function of
+    /// `(seed, i)` — so the population is bit-identical at any thread
+    /// count, and identical to [`DieMap::synthesize_population_serial`].
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn synthesize_population(cfg: &DieMapConfig, n: usize, seed: u64) -> Vec<DieMap> {
         assert!(n > 0, "population must contain at least one die");
-        let mut root = Source::seeded(seed);
+        par_map(n, |i| {
+            let mut child = Source::stream(seed, i as u64);
+            DieMap::synthesize(cfg, &mut child)
+        })
+    }
+
+    /// Serial reference implementation of [`DieMap::synthesize_population`]:
+    /// same per-die streams, sequential execution. Exists so benches and
+    /// equivalence tests can compare without forcing `NTC_THREADS=1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn synthesize_population_serial(cfg: &DieMapConfig, n: usize, seed: u64) -> Vec<DieMap> {
+        assert!(n > 0, "population must contain at least one die");
         (0..n)
             .map(|i| {
-                let mut child = root.fork(i as u64);
+                let mut child = Source::stream(seed, i as u64);
                 DieMap::synthesize(cfg, &mut child)
             })
             .collect()
@@ -298,6 +318,21 @@ impl DieMap {
         let bits: usize = dies.iter().map(DieMap::bits).sum();
         failures as f64 / bits as f64
     }
+
+    /// Population BER at each supply of `grid`, with the voltage points
+    /// fanned across cores — the whole Figure 4 curve in one call.
+    ///
+    /// Each grid point is an independent exact count over the same fixed
+    /// population, so the curve is identical to mapping
+    /// [`DieMap::population_ber`] serially over `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` is empty.
+    pub fn population_ber_curve(dies: &[DieMap], grid: &[f64]) -> Vec<f64> {
+        assert!(!dies.is_empty(), "population is empty");
+        par_map_slice(grid, |&vdd| DieMap::population_ber(dies, vdd))
+    }
 }
 
 impl fmt::Display for DieMap {
@@ -352,6 +387,25 @@ mod tests {
             m.std_dev(),
             law.sigma()
         );
+    }
+
+    #[test]
+    fn parallel_population_matches_serial_bit_for_bit() {
+        let cfg = small_cfg();
+        let par = DieMap::synthesize_population(&cfg, 9, 4);
+        let ser = DieMap::synthesize_population_serial(&cfg, 9, 4);
+        assert_eq!(par, ser, "parallel synthesis must be bit-identical");
+    }
+
+    #[test]
+    fn ber_curve_matches_pointwise_calls() {
+        let cfg = small_cfg();
+        let dies = DieMap::synthesize_population(&cfg, 5, 2);
+        let grid: Vec<f64> = (0..12).map(|i| 0.14 + i as f64 * 0.02).collect();
+        let curve = DieMap::population_ber_curve(&dies, &grid);
+        for (i, &v) in grid.iter().enumerate() {
+            assert_eq!(curve[i].to_bits(), DieMap::population_ber(&dies, v).to_bits());
+        }
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! [`AccessLaw::cell_based_40nm`] uses constants reverse-engineered from the
 //! paper's Table 2 voltage solutions (see the method docs).
 
+use ntc_stats::exec::mc_counter;
 use ntc_stats::math::{inv_phi, ln_phi, phi};
+use ntc_stats::mc::TrialCounter;
 use std::fmt;
 
 /// Error returned when constructing a failure law from invalid parameters.
@@ -162,6 +164,22 @@ impl RetentionLaw {
     pub fn macro_retention_voltage(&self, bits: u64) -> f64 {
         assert!(bits > 0, "macro must contain at least one bit");
         self.vdd_for_p(1.0 / bits as f64)
+    }
+
+    /// Monte-Carlo estimate of the retention-BER curve over `grid`, one
+    /// sharded-parallel [`TrialCounter`] per voltage point.
+    ///
+    /// Every grid point replays the **same** per-bit retention-voltage
+    /// draws (common random numbers: trial `t` draws the same cell at each
+    /// point), so the estimated curve is exactly monotone in supply and
+    /// point-to-point differences carry no resampling noise. Trials run
+    /// through [`ntc_stats::exec::mc_counter`], so each point's counter is
+    /// a pure function of `(trials, seed)` — bit-identical at any thread
+    /// count.
+    pub fn mc_ber_sweep(&self, grid: &[f64], trials: u64, seed: u64) -> Vec<TrialCounter> {
+        grid.iter()
+            .map(|&vdd| mc_counter(trials, seed, |src| src.normal(self.mean, self.sigma) > vdd))
+            .collect()
     }
 
     /// The paper's Eq. 4 `d`-parameters `(d0, d1, d2)` equivalent to this
@@ -327,6 +345,22 @@ impl AccessLaw {
         self.v0 - (p / self.a).powf(1.0 / self.k)
     }
 
+    /// Monte-Carlo estimate of the access-BER curve over `grid`, one
+    /// sharded-parallel [`TrialCounter`] per voltage point.
+    ///
+    /// As with [`RetentionLaw::mc_ber_sweep`], all grid points share the
+    /// same uniform draws (trial `t` compares the same `u` against each
+    /// point's `p_bit`), so the estimated curve is exactly monotone and
+    /// thread-count invariant.
+    pub fn mc_ber_sweep(&self, grid: &[f64], trials: u64, seed: u64) -> Vec<TrialCounter> {
+        grid.iter()
+            .map(|&vdd| {
+                let p = self.p_bit(vdd);
+                mc_counter(trials, seed, |src| src.uniform() < p)
+            })
+            .collect()
+    }
+
     /// Returns a copy with the knee shifted by `delta_v` volts — the hook
     /// used to model ageing drift of the minimal access voltage over a
     /// product's lifetime (paper Section IV).
@@ -386,6 +420,43 @@ mod tests {
             let v = law.vdd_for_p(p);
             assert!((law.p_bit(v) / p - 1.0).abs() < 1e-8, "p = {p}");
         }
+    }
+
+    #[test]
+    fn mc_ber_sweeps_track_laws_and_stay_monotone() {
+        let grid: Vec<f64> = (0..8).map(|i| 0.20 + i as f64 * 0.02).collect();
+        let ret = RetentionLaw::cell_based_40nm();
+        let counters = ret.mc_ber_sweep(&grid, 200_000, 11);
+        assert_eq!(counters.len(), grid.len());
+        let mut prev = u64::MAX;
+        for (c, &v) in counters.iter().zip(&grid) {
+            assert_eq!(c.trials(), 200_000);
+            // Common random numbers make the curve exactly monotone.
+            assert!(c.hits() <= prev, "non-monotone at {v}");
+            prev = c.hits();
+            let p = ret.p_bit(v);
+            if p > 1e-3 {
+                let (lo, hi) = c.wilson_interval(4.0);
+                assert!(p > lo && p < hi, "law {p} outside MC interval at {v}");
+            }
+        }
+        // Thread-count invariance: the counters are a pure function of
+        // (trials, seed), so a second run is identical.
+        let again = ret.mc_ber_sweep(&grid, 200_000, 11);
+        for (a, b) in counters.iter().zip(&again) {
+            assert_eq!(a.hits(), b.hits());
+        }
+
+        let acc = AccessLaw::cell_based_40nm();
+        let counters = acc.mc_ber_sweep(&grid, 100_000, 5);
+        let mut prev = u64::MAX;
+        for (c, &v) in counters.iter().zip(&grid) {
+            assert!(c.hits() <= prev, "non-monotone at {v}");
+            prev = c.hits();
+        }
+        // Above the knee the failure probability is exactly zero.
+        let safe = acc.mc_ber_sweep(&[acc.v0() + 0.01], 10_000, 5);
+        assert_eq!(safe[0].hits(), 0);
     }
 
     #[test]

@@ -101,6 +101,40 @@ impl Histogram {
         self.lo + (i as f64 + 0.5) * w
     }
 
+    /// Merges another histogram's counts into this one.
+    ///
+    /// Merging is associative and commutative, so histograms filled on
+    /// independent Monte-Carlo shards reduce to the same result in any
+    /// grouping — the property the parallel engine in [`crate::exec`]
+    /// relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different ranges or bin counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different binning: [{}, {}) x{} vs [{}, {}) x{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// A histogram with this one's binning and zero counts — the identity
+    /// element for [`Histogram::merge`].
+    pub fn clone_empty(&self) -> Histogram {
+        Histogram::new(self.lo, self.hi, self.bins.len())
+    }
+
     /// The index of the most populated bin (first on ties), or `None` if
     /// every bin is empty.
     pub fn mode_bin(&self) -> Option<usize> {
@@ -191,6 +225,28 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_rejected() {
         Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn merge_matches_single_fill() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.021 - 0.05).collect();
+        let mut whole = Histogram::new(0.0, 2.0, 8);
+        whole.extend(xs.iter().copied());
+        let mut merged = Histogram::new(0.0, 2.0, 8);
+        for chunk in xs.chunks(7) {
+            let mut part = Histogram::new(0.0, 2.0, 8);
+            part.extend(chunk.iter().copied());
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn merge_rejects_mismatched_ranges() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 2.0, 4);
+        a.merge(&b);
     }
 
     #[test]

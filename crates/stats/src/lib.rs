@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod exec;
 pub mod fit;
 pub mod hist;
 pub mod math;

@@ -3,14 +3,32 @@
 //! Every stochastic experiment in the workspace (die synthesis, fault
 //! injection, Monte-Carlo sweeps) takes an explicit seed and draws through
 //! this module, so any figure can be regenerated bit-for-bit. The generator
-//! is `rand`'s small-state `SplitMix64`-seeded xoshiro-family default via
-//! [`rand::rngs::StdRng`]; normal variates use the Marsaglia polar method so
-//! no extra distribution crate is needed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! is a self-contained xoshiro256++ whose state is expanded from the 64-bit
+//! seed with SplitMix64 — the same construction `rand`'s `seed_from_u64`
+//! uses — so the crate carries no external dependency. Normal variates use
+//! the Marsaglia polar method, so no distribution crate is needed either.
+//!
+//! # Stream splitting for parallel execution
+//!
+//! [`Source::stream`] derives the `i`-th sub-stream of a seed *counter-based*
+//! (a pure function of `(seed, i)`), which is what the parallel engine in
+//! [`crate::exec`] uses to shard Monte-Carlo trials: shard `i` always sees
+//! the same stream no matter how many threads run, so parallel results are
+//! bit-identical to serial ones. [`Source::fork`] is the stateful variant
+//! (child seeded from the parent's next output plus a label) kept for
+//! sequential callers that want a cursor-style family of children.
 
 /// A seeded random source producing uniforms and standard normals.
+///
+/// # Cloning
+///
+/// `Clone` is implemented manually and does **not** copy the cached spare
+/// normal from the Marsaglia polar pair: a clone restarts from the raw
+/// generator state only. Otherwise a source and its clone would both emit
+/// the same cached sample once and then diverge from a source that was
+/// cloned before any `standard_normal` call — a subtle reproducibility trap
+/// when clones are handed to different shards. If you need an exact
+/// continuation including the spare, keep using the original.
 ///
 /// # Example
 ///
@@ -23,39 +41,105 @@ use rand::{Rng, SeedableRng};
 /// let z = a.standard_normal();
 /// assert!(z.is_finite());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Source {
-    rng: StdRng,
+    state: [u64; 4],
     cached_normal: Option<f64>,
+}
+
+impl Clone for Source {
+    fn clone(&self) -> Self {
+        Self {
+            state: self.state,
+            cached_normal: None,
+        }
+    }
+}
+
+/// SplitMix64 step: advances `x` and returns the finalized output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Source {
     /// Creates a source from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            state,
             cached_normal: None,
         }
+    }
+
+    /// The `index`-th independent sub-stream of `seed`, as a pure function
+    /// of its arguments.
+    ///
+    /// This is the counter-based splitter the parallel engine relies on:
+    /// `stream(seed, i)` depends only on `(seed, i)`, never on generator
+    /// state or thread schedule, so work sharded as
+    /// `(0..shards).map(|i| Source::stream(seed, i))` produces the same
+    /// ensemble on one thread or sixteen. Streams are decorrelated by
+    /// running the pair through a SplitMix64 finalizer before seeding.
+    pub fn stream(seed: u64, index: u64) -> Source {
+        // Two finalizer rounds over (seed, index) so that neither
+        // consecutive seeds nor consecutive indices yield nearby states.
+        let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z = z.wrapping_add(0x632B_E593_04D4_D1CD);
+        z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        z ^= z >> 33;
+        Source::seeded(z)
     }
 
     /// Derives an independent child stream, e.g. one per die or per module.
     ///
     /// The child is seeded from a hash of this stream's next output and the
     /// `stream` label, so children with different labels are decorrelated
-    /// and reproducible.
+    /// and reproducible. Unlike [`Source::stream`] this advances the parent,
+    /// so successive `fork(i)` calls with the same label yield different
+    /// children; use `stream` when shards must be derivable independently.
     pub fn fork(&mut self, stream: u64) -> Source {
-        let base: u64 = self.rng.gen();
+        let base = self.next_u64();
         // SplitMix64 finalizer over (base, stream).
-        let mut z = base ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         Source::seeded(z)
     }
 
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
     /// A uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 mantissa bits of the raw output, scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform draw in `[lo, hi)`.
@@ -78,7 +162,17 @@ impl Source {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.rng.gen_range(0..n)
+        if n == 1 {
+            return 0;
+        }
+        // Rejection sampling on the top of the range for an unbiased draw.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % n;
+            }
+        }
     }
 
     /// A standard normal draw (Marsaglia polar method, pair-cached).
@@ -210,6 +304,46 @@ mod tests {
     }
 
     #[test]
+    fn stream_is_a_pure_function_of_seed_and_index() {
+        let mut a = Source::stream(2014, 9);
+        let mut b = Source::stream(2014, 9);
+        for _ in 0..64 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+        let mut c = Source::stream(2014, 10);
+        let mut d = Source::stream(2015, 9);
+        let first = Source::stream(2014, 9).uniform();
+        assert_ne!(first, c.uniform());
+        assert_ne!(first, d.uniform());
+    }
+
+    #[test]
+    fn stream_family_is_statistically_sane() {
+        // First draws of 4k consecutive streams should look uniform.
+        let m: Moments = (0..4000)
+            .map(|i| Source::stream(77, i).uniform())
+            .collect();
+        assert!((m.mean() - 0.5).abs() < 0.02, "mean {}", m.mean());
+        assert!(
+            (m.std_dev() - (1.0f64 / 12.0).sqrt()).abs() < 0.02,
+            "sd {}",
+            m.std_dev()
+        );
+    }
+
+    #[test]
+    fn clone_drops_cached_normal() {
+        let mut src = Source::seeded(55);
+        let _ = src.standard_normal(); // leaves a spare cached
+        let mut twin = src.clone();
+        // The original consumes its spare; the clone re-enters the polar
+        // loop from the same raw state, so their *next* raw streams agree
+        // after the original's cache is drained.
+        let _ = src.standard_normal(); // consumes the cached spare
+        assert_eq!(src.uniform(), twin.uniform());
+    }
+
+    #[test]
     fn standard_normal_moments() {
         let mut src = Source::seeded(123);
         let m: Moments = (0..200_000).map(|_| src.standard_normal()).collect();
@@ -230,6 +364,24 @@ mod tests {
     #[should_panic(expected = "invalid uniform range")]
     fn uniform_in_rejects_inverted() {
         Source::seeded(0).uniform_in(1.0, 0.0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_unbiased_enough() {
+        let mut src = Source::seeded(17);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[src.below(5) as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0) is meaningless")]
+    fn below_zero_panics() {
+        Source::seeded(0).below(0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property tests for the numerical substrate.
 
 use ntc_stats::dist::Gaussian;
+use ntc_stats::exec::{mc_counter, mc_moments, par_map_with_threads};
 use ntc_stats::fit::{fit_power_law, linear_fit};
 use ntc_stats::math::{erf, erfc, inv_phi, ln_erfc, phi};
 use ntc_stats::mc::{Moments, TrialCounter};
@@ -134,5 +135,109 @@ proptest! {
         let mut b = parent.fork(2);
         let same = (0..16).filter(|_| a.uniform() == b.uniform()).count();
         prop_assert!(same < 2);
+    }
+
+    #[test]
+    fn counter_streams_are_pure_and_decorrelated(seed: u64, index in 0u64..1_000_000) {
+        let mut a = Source::stream(seed, index);
+        let mut b = Source::stream(seed, index);
+        for _ in 0..8 {
+            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+        let mut c = Source::stream(seed, index.wrapping_add(1));
+        let same = (0..16).filter(|_| a.uniform() == c.uniform()).count();
+        prop_assert!(same < 2);
+    }
+
+    #[test]
+    fn par_map_equals_serial_at_any_thread_count(
+        seed: u64,
+        n in 0usize..200,
+        threads in 1usize..9,
+    ) {
+        let serial: Vec<u64> = (0..n)
+            .map(|i| Source::stream(seed, i as u64).below(1_000_000))
+            .collect();
+        let par = par_map_with_threads(n, threads, |i| {
+            Source::stream(seed, i as u64).below(1_000_000)
+        });
+        prop_assert_eq!(par, serial, "threads = {}", threads);
+    }
+
+    #[test]
+    fn mc_reductions_are_thread_count_invariant(seed: u64, trials in 1u64..5_000) {
+        // mc_moments / mc_counter shard over a fixed count and merge in
+        // shard order, so the result is a pure function of (trials, seed):
+        // repeated runs (each fanned over whatever threads the host has)
+        // must agree bit for bit.
+        let m1 = mc_moments(trials, seed, |s| s.standard_normal());
+        let m2 = mc_moments(trials, seed, |s| s.standard_normal());
+        prop_assert_eq!(m1.count(), trials);
+        prop_assert_eq!(m1.mean().to_bits(), m2.mean().to_bits());
+        prop_assert_eq!(m1.variance().to_bits(), m2.variance().to_bits());
+
+        let c1 = mc_counter(trials, seed, |s| s.bernoulli(0.1));
+        let c2 = mc_counter(trials, seed, |s| s.bernoulli(0.1));
+        prop_assert_eq!(c1.trials(), trials);
+        prop_assert_eq!(c1.hits(), c2.hits());
+    }
+
+    #[test]
+    fn moments_merge_three_way_associative(
+        xs in prop::collection::vec(-50.0f64..50.0, 3..40),
+        cut_a in 1usize..20,
+        cut_b in 1usize..20,
+    ) {
+        // ((A ∪ B) ∪ C) and (A ∪ (B ∪ C)) must agree to float tolerance,
+        // and counts exactly — the associativity the shard reduction needs.
+        let a_end = cut_a.min(xs.len() - 2);
+        let b_end = (a_end + cut_b).min(xs.len() - 1);
+        let parts: [Moments; 3] = [
+            xs[..a_end].iter().copied().collect(),
+            xs[a_end..b_end].iter().copied().collect(),
+            xs[b_end..].iter().copied().collect(),
+        ];
+        let mut left = parts[0];
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1];
+        bc.merge(&parts[2]);
+        let mut right = parts[0];
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.count(), xs.len() as u64);
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - right.variance()).abs() < 1e-7);
+        prop_assert_eq!(left.min().to_bits(), right.min().to_bits());
+        prop_assert_eq!(left.max().to_bits(), right.max().to_bits());
+    }
+
+    #[test]
+    fn counter_and_histogram_merge_exactly_associative(
+        hits in prop::collection::vec(0u32..100, 3..12),
+    ) {
+        // Integer-count accumulators merge exactly, in any grouping.
+        let counters: Vec<TrialCounter> = hits
+            .iter()
+            .map(|&h| {
+                let mut c = TrialCounter::new();
+                c.record_batch(100, u64::from(h));
+                c
+            })
+            .collect();
+        let mut fold_left = counters[0];
+        for c in &counters[1..] {
+            fold_left.merge(c);
+        }
+        let mut tail = counters[counters.len() - 1];
+        for c in counters[1..counters.len() - 1].iter().rev() {
+            let mut acc = *c;
+            acc.merge(&tail);
+            tail = acc;
+        }
+        let mut fold_right = counters[0];
+        fold_right.merge(&tail);
+        prop_assert_eq!(fold_left.trials(), fold_right.trials());
+        prop_assert_eq!(fold_left.hits(), fold_right.hits());
     }
 }

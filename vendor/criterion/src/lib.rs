@@ -1,0 +1,262 @@
+//! Offline stand-in for [criterion](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! The build environment has no crates.io access, so the real criterion
+//! cannot be fetched. This crate keeps the workspace's bench files
+//! compiling and producing honest wall-clock numbers: `criterion_group!`/
+//! `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{bench_function, sample_size, finish}` and
+//! `Bencher::iter` all exist with the same shapes.
+//!
+//! Measurement protocol (simpler than real criterion, deliberately): one
+//! warm-up call sizes the iteration count to roughly [`TARGET_SAMPLE`] per
+//! sample, then `sample_size` samples are timed and the median per-call
+//! time is reported to stdout as `name … time: [median]` together with the
+//! min/max spread. No statistics files are written; no outlier analysis.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Re-export matching `criterion::black_box` (modern criterion forwards to
+/// the standard library too).
+pub use std::hint::black_box;
+
+/// One measurement: the per-iteration durations of each sample.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `group/name`.
+    pub id: String,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+    /// Iterations per sample used.
+    pub iters: u64,
+}
+
+/// Drives closures handed to `Bencher::iter`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            sample_size: 10,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: the first non-flag argument becomes
+    /// a substring filter (flags like `--bench` that cargo passes are
+    /// ignored).
+    pub fn configure_from_args(&mut self) {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+    }
+
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark. Accepts anything string-like (`&str`, `String`),
+    /// as the real criterion does via `IntoBenchmarkId`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run(id.into(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All measurements recorded so far (used by custom reporters).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: one iteration to time, then size the sample.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut per_iter: Vec<f64> = (0..sample_size.max(1))
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let m = Measurement {
+            id,
+            median_s: per_iter[per_iter.len() / 2],
+            min_s: per_iter[0],
+            max_s: *per_iter.last().unwrap(),
+            iters,
+        };
+        println!(
+            "{:<44} time: [{} {} {}]",
+            m.id,
+            format_time(m.min_s),
+            format_time(m.median_s),
+            format_time(m.max_s)
+        );
+        self.measurements.push(m);
+    }
+}
+
+/// A benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be nonzero");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group. Accepts anything string-like.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run(full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Human units for seconds-per-iteration.
+pub fn format_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a group runner function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.measurements().len(), 1);
+        let m = &c.measurements()[0];
+        assert!(m.median_s >= 0.0 && m.min_s <= m.median_s && m.median_s <= m.max_s);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_filter_applies() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        c.filter = Some("keep".to_string());
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("keep_me", |b| b.iter(|| black_box(0u64)));
+        g.bench_function("skip_me", |b| b.iter(|| black_box(0u64)));
+        g.finish();
+        assert_eq!(c.measurements().len(), 1);
+        assert_eq!(c.measurements()[0].id, "grp/keep_me");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2e-6).ends_with("µs"));
+        assert!(format_time(2e-9).ends_with("ns"));
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline stand-in for [proptest](https://proptest-rs.github.io/proptest/).
+//!
+//! The build environment has no crates.io access, so the real proptest
+//! cannot be fetched. This crate reimplements the (small) strategy surface
+//! the workspace's property tests actually use, with the same macro
+//! grammar, so the test files compile unchanged:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, y: Type) { .. } }` with an
+//!   optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! * range strategies (`-6.0f64..6.0`, `1u32..=4`, `0usize..60`),
+//! * `any::<T>()` and bare `name: Type` parameters,
+//! * `prop::collection::vec(elem, len)` and `prop::sample::select(vec)`,
+//! * string strategies from a `[class]{lo,hi}` regex subset,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Differences from real proptest, deliberately accepted: cases are drawn
+//! from a deterministic per-test RNG (seeded from the test's module path
+//! and name, so failures reproduce run-to-run), there is no shrinking, and
+//! no persistence of regressions (`.proptest-regressions` files are
+//! ignored). Failure messages report the case number and the assertion
+//! text instead of a minimized input.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` passing cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + rng.below_u128(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    lo + rng.below_u128(span) as $t
+                }
+            }
+        )*
+    };
+}
+
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below_u128(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + rng.below_u128(span) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.closed_unit_f64() * (hi - lo)
+    }
+}
+
+/// Types with a default "draw anything" strategy (`any::<T>()` or a bare
+/// `name: Type` parameter in `proptest!`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning several magnitudes; real
+        // proptest draws weirder values but nothing here relies on them.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Draws unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategies from a regex subset: `[class]{lo,hi}` where the class
+/// supports literal chars, `a-b` ranges, and `\n`/`\t`/`\r`/`\\` escapes.
+/// A pattern without `[` is produced literally.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self);
+        if alphabet.is_empty() {
+            return self.to_string();
+        }
+        let len = lo + rng.below_u128((hi - lo + 1) as u128) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below_u128(alphabet.len() as u128) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}`; returns an empty alphabet for literal patterns.
+///
+/// # Panics
+///
+/// Panics on regex features outside the supported subset.
+fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+    let Some(start) = pattern.find('[') else {
+        return (Vec::new(), 0, 0);
+    };
+    let mut chars = pattern[start + 1..].chars().peekable();
+    let mut alphabet = Vec::new();
+    let mut pending: Option<char> = None;
+    let mut closed = false;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => {
+                closed = true;
+                break;
+            }
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in char class");
+                let lit = match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                if let Some(p) = pending.take() {
+                    alphabet.push(p);
+                }
+                pending = Some(lit);
+            }
+            '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = pending.take().unwrap();
+                let hi = chars.next().unwrap();
+                assert!(lo <= hi, "inverted range {lo}-{hi} in char class");
+                alphabet.extend(lo..=hi);
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    alphabet.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+    }
+    assert!(closed, "unterminated char class in pattern {pattern:?}");
+    if let Some(p) = pending {
+        alphabet.push(p);
+    }
+    assert!(!alphabet.is_empty(), "empty char class in pattern {pattern:?}");
+    let rest: String = chars.collect();
+    let rest = rest.trim();
+    let (lo, hi) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repeat spec {rest:?}"));
+        match inner.split_once(',') {
+            Some((a, b)) => (
+                a.trim().parse().expect("repeat lower bound"),
+                b.trim().parse().expect("repeat upper bound"),
+            ),
+            None => {
+                let n = inner.trim().parse().expect("repeat count");
+                (n, n)
+            }
+        }
+    };
+    assert!(lo <= hi, "inverted repeat bounds in pattern {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u128;
+            let len = self.size.lo + rng.below_u128(span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Chooses one of `items` per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below_u128(self.items.len() as u128) as usize].clone()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` / `prop::sample::select`
+/// resolve as in real proptest.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Arbitrary, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case (not
+/// the whole process) fails with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (it is re-drawn and does not count).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The `proptest!` test-definition macro. See the crate docs for the
+/// supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::test_runner::TestRng::for_test(__test_name);
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __cfg.cases {
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = {
+                    $crate::proptest!(@bind __rng $($params)*);
+                    let __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                };
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected <= __cfg.cases.saturating_mul(64).saturating_add(256),
+                            "{__test_name}: too many prop_assume! rejections \
+                             ({__rejected} for {__passed} passing cases)"
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("{__test_name}: case {} failed: {msg}", __passed + 1);
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@bind $rng:ident) => {};
+    (@bind $rng:ident $var:ident in $strat:expr) => {
+        let $var = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident $var:ident in $strat:expr, $($rest:tt)*) => {
+        let $var = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    (@bind $rng:ident $var:ident : $ty:ty) => {
+        let $var = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident $var:ident : $ty:ty, $($rest:tt)*) => {
+        let $var = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(-6.0f64..6.0), &mut rng);
+            assert!((-6.0..6.0).contains(&x));
+            let k = Strategy::sample(&(1u32..=4), &mut rng);
+            assert!((1..=4).contains(&k));
+            let n = Strategy::sample(&(3usize..40), &mut rng);
+            assert!((3..40).contains(&n));
+            let i = Strategy::sample(&(-5i32..7), &mut rng);
+            assert!((-5..7).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_sample() {
+        let mut rng = crate::test_runner::TestRng::for_test("vec");
+        let v = Strategy::sample(&prop::collection::vec(0u32..10, 1..6), &mut rng);
+        assert!((1..6).contains(&v.len()));
+        assert!(v.iter().all(|&x| x < 10));
+        let s = Strategy::sample(&prop::sample::select(vec![7u32, 8, 9]), &mut rng);
+        assert!((7..=9).contains(&s));
+    }
+
+    #[test]
+    fn string_class_strategy() {
+        let mut rng = crate::test_runner::TestRng::for_test("string");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[ -~\n]{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0.0f64..1.0, n in 1u64..100, seed: u64) {
+            prop_assume!(n != 13);
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_eq!(n, n);
+            let _ = seed;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_with_config(v in prop::collection::vec(any::<u32>(), 1..16)) {
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real `serde` cannot be fetched. The workspace only uses serde as an
+//! *optional* marker capability (`C-SERDE`: result/model types implement
+//! `Serialize`/`Deserialize` when the `serde` feature is on); no code path
+//! actually serializes bytes. This stub provides just enough surface for
+//! those trait bounds and derives to compile:
+//!
+//! * [`Serialize`] and [`Deserialize`] as empty marker traits,
+//! * [`de::DeserializeOwned`] with the usual blanket impl,
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   stub (enabled by the `derive` feature), which emits empty impls.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! `Cargo.toml` once a registry is reachable; no downstream code changes.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    /// Marker for types deserializable without borrowing, mirroring
+    /// `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Blanket impls for std types that appear inside derived containers, so
+/// bounds like `Vec<T>: Serialize` would hold if ever written explicitly.
+mod std_impls {
+    use super::{Deserialize, Serialize};
+
+    macro_rules! mark {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl Serialize for $t {}
+                impl<'de> Deserialize<'de> for $t {}
+            )*
+        };
+    }
+
+    mark!(
+        bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128,
+        isize, f32, f64, String
+    );
+
+    impl<T: Serialize> Serialize for Vec<T> {}
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+    impl<T: Serialize> Serialize for Option<T> {}
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+    impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+    impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serde<T: Serialize + de::DeserializeOwned>() {}
+
+    #[test]
+    fn primitives_are_marked() {
+        assert_serde::<u64>();
+        assert_serde::<f64>();
+        assert_serde::<String>();
+        assert_serde::<Vec<u32>>();
+    }
+}

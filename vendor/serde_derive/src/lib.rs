@@ -1,0 +1,57 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The stub `serde` crate's traits are empty markers, so the derives only
+//! need to name the type being derived for and emit empty impls. The input
+//! is scanned token-by-token (no `syn`/`quote`, which are unavailable
+//! offline): skip attributes and visibility, find the `struct`/`enum`
+//! keyword, and take the following identifier as the type name.
+//!
+//! Limitation (documented, checked): generic types are rejected with a
+//! compile error naming this stub — every workspace type behind the
+//! `serde` feature is non-generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: &TokenStream) -> Result<String, String> {
+    let mut iter = input.clone().into_iter();
+    while let Some(tree) = iter.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let text = ident.to_string();
+            if text == "struct" || text == "enum" || text == "union" {
+                return match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(iter.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                        {
+                            Err(format!(
+                                "stub serde_derive cannot derive for generic type `{name}`"
+                            ))
+                        } else {
+                            Ok(name.to_string())
+                        }
+                    }
+                    other => Err(format!("expected type name after `{text}`, got {other:?}")),
+                };
+            }
+        }
+    }
+    Err("no struct/enum/union keyword found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, template: &str) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => template.replace("__NAME__", &name).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}
