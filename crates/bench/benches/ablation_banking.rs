@@ -1,8 +1,12 @@
 //! Ablation: hierarchical subdivision (Section III). Banking shortens the
 //! switched bitlines — access energy falls with √banks — until the global
-//! routing and duplicated periphery eat the gain.
+//! routing and duplicated periphery eat the gain. The sweep table lives
+//! in the `ablation_banking` registry experiment; this bench gates on it
+//! and times the calculator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::repro::{find, RunCtx};
+use ntc_bench::render_text;
 use ntc_memcalc::instance::{MemoryMacro, MemoryOrganization};
 use ntc_sram::styles::CellStyle;
 use ntc_tech::card;
@@ -18,28 +22,9 @@ fn macro_with(banks: u32) -> MemoryMacro {
 }
 
 fn bench(c: &mut Criterion) {
-    println!("banks | E/access @0.55V | leakage @0.55V | area");
-    let mut prev = f64::INFINITY;
-    let mut best = (1u32, f64::INFINITY);
-    for banks in [1u32, 2, 4, 8, 16, 32] {
-        let m = macro_with(banks);
-        let e = m.access_energy(0.55);
-        let l = m.leakage_power(0.55);
-        println!(
-            "{banks:>5} | {:>10.4} pJ | {:>9.3} µW | {:.4} mm²",
-            e * 1e12,
-            l * 1e6,
-            m.area_mm2()
-        );
-        // Total energy per access at a duty where leakage matters:
-        let total = e + l / 290e3;
-        if total < best.1 {
-            best = (banks, total);
-        }
-        assert!(e < prev, "dynamic access energy must fall with banking");
-        prev = e;
-    }
-    println!("optimum at 290 kHz duty: {} banks", best.0);
+    let artifact = find("ablation_banking").unwrap().run(&RunCtx::quick());
+    print!("{}", render_text(&artifact));
+    assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 
     c.bench_function("ablation_banking/calculator", |b| {
         b.iter(|| {

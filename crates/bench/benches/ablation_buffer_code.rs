@@ -2,72 +2,22 @@
 //! SECDED (52 bits) corrects any 4-bit *burst* and up to 4 distributed
 //! errors, but only 1 per lane — under i.i.d. random errors its word
 //! failure is a 2-in-one-lane event (∝ p²). The (45,32) DEC-TED BCH
-//! corrects any 2-of-45 (∝ p³ failure) in fewer stored bits. Which buffer
-//! reaches a lower voltage depends on the error process — exactly the
-//! kind of design decision the paper's memory calculator is for.
+//! corrects any 2-of-45 (∝ p³ failure) in fewer stored bits. The
+//! reachable voltages and the (57,32) quad-BCH anchors live in the
+//! `ablation_buffer_code` registry experiment; this bench gates on it
+//! and times the decoders.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::repro::{find, RunCtx};
+use ntc_bench::render_text;
 use ntc_ecc::bch::BchDecTed;
 use ntc_ecc::interleave::InterleavedCode;
-use ntc_sram::failure::AccessLaw;
 use std::hint::black_box;
 
-/// Exact word-failure probability of the interleaved code under iid
-/// errors: any lane takes ≥2 of its 13 bits.
-fn interleaved_word_failure(p: f64) -> f64 {
-    let lane_ok = (0..=1)
-        .map(|k| {
-            let c = if k == 0 { 1.0 } else { 13.0 };
-            c * p.powi(k) * (1.0 - p).powi(13 - k)
-        })
-        .sum::<f64>();
-    1.0 - lane_ok.powi(4)
-}
-
-/// Exact word-failure probability of the DEC-TED BCH under iid errors:
-/// ≥3 of 45 bits.
-fn bch_word_failure(p: f64) -> f64 {
-    let le2 = (0..=2)
-        .map(|k| {
-            let c = match k {
-                0 => 1.0,
-                1 => 45.0,
-                _ => 990.0,
-            };
-            c * p.powi(k) * (1.0 - p).powi(45 - k)
-        })
-        .sum::<f64>();
-    1.0 - le2
-}
-
-fn min_voltage(fail: impl Fn(f64) -> f64) -> f64 {
-    let law = AccessLaw::cell_based_40nm();
-    let (mut lo, mut hi) = (0.0f64, 0.1f64);
-    for _ in 0..120 {
-        let mid = 0.5 * (lo + hi);
-        if fail(mid) <= 1e-15 {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    law.vdd_for_p(lo.max(1e-300))
-}
-
 fn bench(c: &mut Criterion) {
-    let v_inter = min_voltage(interleaved_word_failure);
-    let v_bch = min_voltage(bch_word_failure);
-    println!("random (iid) errors at FIT 1e-15:");
-    println!("  4-way interleaved SECDED (52 b): min V = {v_inter:.3}");
-    println!("  (45,32) DEC-TED BCH      (45 b): min V = {v_bch:.3}");
-    assert!(
-        v_bch < v_inter,
-        "for iid errors the algebraic code must win: {v_bch} vs {v_inter}"
-    );
-    println!("burst errors: the interleaved code corrects any ≤4-bit burst;");
-    println!("the BCH corrects bursts only up to 2 bits — roles reverse.");
-    println!("(the paper's 'quadruple error correction' buffer behaves like");
-    println!("the interleaved construction for burst/distributed errors)");
+    let artifact = find("ablation_buffer_code").unwrap().run(&RunCtx::quick());
+    print!("{}", render_text(&artifact));
+    assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 
     let inter = InterleavedCode::new(32, 4).unwrap();
     let bch = BchDecTed::new();

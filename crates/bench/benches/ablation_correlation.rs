@@ -1,8 +1,12 @@
 //! Ablation: spatial correlation of retention failures. Systematic
 //! within-die variation clusters failing bits, which raises the worst
-//! die's minimal retention supply relative to a purely random population.
+//! die's minimal retention supply relative to a purely random
+//! population. The numbers live in the `ablation_correlation` registry
+//! experiment; this bench gates on it and times the die synthesis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::repro::{find, RunCtx};
+use ntc_bench::render_text;
 use ntc_sram::diemap::{DieMap, DieMapConfig};
 use ntc_sram::failure::RetentionLaw;
 use std::hint::black_box;
@@ -17,46 +21,10 @@ fn worst_supply(systematic: f64, seed: u64) -> f64 {
 }
 
 fn bench(c: &mut Criterion) {
-    // Report the ablation across correlation levels (same total sigma).
-    for frac in [0.0, 0.3, 0.6] {
-        println!(
-            "systematic fraction {frac}: worst-die retention supply {:.3} V",
-            worst_supply(frac, 77)
-        );
-    }
+    let artifact = find("ablation_correlation").unwrap().run(&RunCtx::quick());
+    print!("{}", render_text(&artifact));
+    assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 
-    // Second axis: intra-word correlation vs SECDED's usable voltage.
-    // Under the beta-binomial model the triple-error tail fattens, and the
-    // bisected minimum voltage rises.
-    use ntc_sram::failure::AccessLaw;
-    use ntc_sram::words::CorrelatedWordModel;
-    let law = AccessLaw::cell_based_40nm();
-    let min_v = |rho: Option<f64>| -> f64 {
-        let fail = |p: f64| match rho {
-            None => ntc_sram::words::WordErrorModel::new(39).p_word_failure(2, p),
-            Some(r) => CorrelatedWordModel::new(39, r).unwrap().p_word_failure(2, p),
-        };
-        // Bisect p to the FIT budget, then map to voltage.
-        let (mut lo, mut hi) = (0.0f64, 0.1f64);
-        for _ in 0..120 {
-            let mid = 0.5 * (lo + hi);
-            if fail(mid) <= 1e-15 {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        law.vdd_for_p(lo.max(1e-300))
-    };
-    let v_iid = min_v(None);
-    println!("SECDED min voltage, independent bits : {v_iid:.3} V");
-    let mut prev = v_iid;
-    for rho in [0.001, 0.01, 0.05] {
-        let v = min_v(Some(rho));
-        println!("SECDED min voltage, rho = {rho:<5}      : {v:.3} V");
-        assert!(v >= prev - 1e-9, "correlation must not lower the voltage");
-        prev = v;
-    }
     c.bench_function("ablation_correlation/worst_of_9_dies", |b| {
         b.iter(|| black_box(worst_supply(0.3, 77)))
     });

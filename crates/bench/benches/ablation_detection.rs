@@ -1,58 +1,24 @@
 //! Ablation: detection strength of OCEAN's scratchpad code. Parity EDC
 //! (33 bits) misses *every* double error; the distance-4 Hsiao code used
-//! detect-only misses only the weight-4 codeword patterns. This bench
-//! counts both alias sets exactly and shows why parity cannot reach the
-//! paper's FIT target.
+//! detect-only misses only the weight-4 codeword patterns. The exact
+//! alias counts and silent-corruption rates live in the
+//! `ablation_detection` registry experiment; this bench gates on it and
+//! times the decoders.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::repro::{find, RunCtx};
+use ntc_bench::render_text;
 use ntc_ecc::parity::Parity;
 use ntc_ecc::secded::Secded;
 use std::hint::black_box;
 
-/// Counts weight-4 error patterns with zero syndrome on the (39,32) code
-/// (exact enumeration of C(39,4) = 82 251 patterns).
-fn weight4_aliases(code: &Secded) -> u64 {
-    let n = code.codeword_bits();
-    let mut aliases = 0u64;
-    let zero = code.encode(0);
-    for a in 0..n {
-        for b in (a + 1)..n {
-            for c in (b + 1)..n {
-                for d in (c + 1)..n {
-                    let pattern = zero ^ (1u128 << a) ^ (1u128 << b) ^ (1u128 << c) ^ (1u128 << d);
-                    if code.syndrome(pattern) == 0 {
-                        aliases += 1;
-                    }
-                }
-            }
-        }
-    }
-    aliases
-}
-
 fn bench(c: &mut Criterion) {
+    let artifact = find("ablation_detection").unwrap().run(&RunCtx::quick());
+    print!("{}", render_text(&artifact));
+    assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
+
     let secded = Secded::new(32).unwrap();
     let parity = Parity::new(32);
-    let n4 = weight4_aliases(&secded);
-    let c33_2 = 33.0 * 32.0 / 2.0;
-    println!("parity silent double-error patterns : 528 of 528 (100 %)");
-    println!(
-        "SECDED-detect silent quad patterns   : {n4} of 82251 ({:.2} %)",
-        100.0 * n4 as f64 / 82251.0
-    );
-    // Silent-corruption probabilities at the OCEAN operating point.
-    let p: f64 = 7.05e-5; // p_bit at 0.33 V
-    let parity_silent = c33_2 * p * p;
-    let secded_silent = n4 as f64 * p.powi(4);
-    println!(
-        "at p = {p:.2e}: parity {:.2e} vs detect-only {:.2e} per access",
-        parity_silent, secded_silent
-    );
-    assert!(
-        secded_silent < parity_silent / 1e4,
-        "the distance-4 code must be orders of magnitude safer"
-    );
-
     let mut g = c.benchmark_group("ablation_detection");
     g.bench_function("parity_decode", |b| {
         let stored = parity.encode(0xDEAD_BEEF);

@@ -1,34 +1,27 @@
 //! Ablation: monitoring guardband vs. static end-of-life margin. The
 //! control loop tracks ageing with millivolts; a static design pays the
-//! full drift from day one. The dynamic-energy cost of margin is
-//! quadratic in voltage, so the average supply difference is the win.
+//! full drift from day one. The supply trace and the energy-saving
+//! anchor live in the `ablation_guardband` registry experiment; this
+//! bench gates on it and times the lifetime simulation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ntc::monitor::{simulate_lifetime, AgingModel, VoltageController};
+use ntc::repro::{find, RunCtx};
+use ntc_bench::render_text;
 use ntc_sram::failure::AccessLaw;
 use std::hint::black_box;
 
-fn average_supply() -> (f64, f64) {
-    let aging = AgingModel::new(AccessLaw::cell_based_40nm(), 0.05, 10.0);
-    let mut ctl = VoltageController::new(0.45, (1e-7, 1e-4), 0.005, (0.33, 1.1));
-    let trace = simulate_lifetime(&aging, &mut ctl, 200, 2_000_000, 5);
-    let avg = trace.iter().map(|p| p.vdd).sum::<f64>() / trace.len() as f64;
-    let static_v = 0.45 + aging.static_guardband_v();
-    (avg, static_v)
-}
-
 fn bench(c: &mut Criterion) {
-    let (monitored, static_v) = average_supply();
-    let energy_saving = 1.0 - (monitored / static_v).powi(2);
-    println!(
-        "monitored average supply {monitored:.3} V vs static {static_v:.3} V \
-         -> {:.1} % dynamic energy saved",
-        energy_saving * 100.0
-    );
-    assert!(monitored < static_v, "monitoring must undercut the static margin");
+    let artifact = find("ablation_guardband").unwrap().run(&RunCtx::quick());
+    print!("{}", render_text(&artifact));
+    assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 
     c.bench_function("ablation_guardband/lifetime_simulation", |b| {
-        b.iter(|| black_box(average_supply()))
+        b.iter(|| {
+            let aging = AgingModel::new(AccessLaw::cell_based_40nm(), 0.05, 10.0);
+            let mut ctl = VoltageController::new(0.45, (1e-7, 1e-4), 0.005, (0.33, 1.1));
+            black_box(simulate_lifetime(&aging, &mut ctl, 200, 2_000_000, 5))
+        })
     });
 }
 

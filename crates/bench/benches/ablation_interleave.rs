@@ -1,31 +1,19 @@
 //! Ablation: protected-buffer interleaving depth. 1/2/4-way interleaved
 //! SECDED tolerate 1/2/4 random errors per word; only the 4-way code
-//! reaches the paper's 0.33 V OCEAN point at FIT 1e-15.
+//! reaches the paper's OCEAN point at FIT 1e-15. The voltages and their
+//! anchors live in the `ablation_interleave` registry experiment; this
+//! bench gates on it and times the codec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::repro::{find, RunCtx};
+use ntc_bench::render_text;
 use ntc_ecc::interleave::InterleavedCode;
-use ntc_sram::failure::AccessLaw;
-use ntc_sram::words::WordErrorModel;
 use std::hint::black_box;
 
-fn min_voltage_for_lanes(lanes: u32) -> f64 {
-    let law = AccessLaw::cell_based_40nm();
-    let code = InterleavedCode::new(32, lanes).unwrap();
-    let w = WordErrorModel::new(39);
-    let p = w
-        .max_p_bit_for_target(code.correctable_random_errors(), 1e-15)
-        .unwrap();
-    law.vdd_for_p(p)
-}
-
 fn bench(c: &mut Criterion) {
-    // Ablation result: deeper interleave → lower reachable voltage.
-    let v1 = min_voltage_for_lanes(1);
-    let v2 = min_voltage_for_lanes(2);
-    let v4 = min_voltage_for_lanes(4);
-    assert!(v1 > v2 && v2 > v4);
-    assert!((v4 - 0.33).abs() < 0.01, "4-way reaches the 0.33 V point, got {v4}");
-    println!("interleave ablation: 1-way {v1:.3} V, 2-way {v2:.3} V, 4-way {v4:.3} V");
+    let artifact = find("ablation_interleave").unwrap().run(&RunCtx::quick());
+    print!("{}", render_text(&artifact));
+    assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 
     let mut g = c.benchmark_group("ablation_interleave");
     for lanes in [1u32, 2, 4] {

@@ -1,20 +1,17 @@
 //! Ablation: OCEAN phase count. The nonlinear optimizer's convex
-//! energy-vs-phase-count curve, evaluated across error rates.
+//! energy-vs-phase-count curve lives in the `ablation_phases` registry
+//! experiment; this bench gates on it and times the optimizer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::repro::{find, RunCtx};
+use ntc_bench::render_text;
 use ntc_ocean::PhaseCostModel;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    // Ablation result: optimum grows with error rate.
-    let mut prev = 0;
-    for p in [1e-8, 1e-6, 1e-4, 1e-3] {
-        let m = PhaseCostModel::new(300_000, 28_000, 1536, p).unwrap();
-        let opt = m.optimal_phase_count(256);
-        assert!(opt >= prev);
-        println!("p_word = {p:.0e}: optimal phases = {opt}, E = {:.3e} J", m.energy(opt));
-        prev = opt;
-    }
+    let artifact = find("ablation_phases").unwrap().run(&RunCtx::quick());
+    print!("{}", render_text(&artifact));
+    assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 
     let m = PhaseCostModel::new(300_000, 28_000, 1536, 1e-4).unwrap();
     c.bench_function("ablation_phases/optimize_256", |b| {

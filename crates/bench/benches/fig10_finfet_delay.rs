@@ -1,7 +1,9 @@
 //! Regenerates Figure 10's finFET delay/spread curves and times the
-//! analytic and Monte-Carlo spread estimators.
+//! analytic and Monte-Carlo spread estimators. Correctness is gated
+//! through the experiment registry, where the paper anchors live.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::repro::{find, RunCtx};
 use ntc_stats::rng::Source;
 use ntc_stats::sweep::voltage_grid;
 use ntc_tech::card;
@@ -9,10 +11,12 @@ use ntc_tech::inverter::Inverter;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
+    // Gate before timing: the speedup/spread anchors must be in band.
+    let artifact = find("fig10").unwrap().run(&RunCtx::quick());
+    assert!(artifact.passed(), "fig10 anchors drifted: {:?}", artifact.failures());
+
     let inv14 = Inverter::fo4(&card::n14finfet());
     let inv10 = Inverter::fo4(&card::n10gaa());
-    // The headline shape must hold before timing anything.
-    assert!(inv14.delay(0.5) / inv10.delay(0.5) > 1.6);
     let grid = voltage_grid(0.25, 0.80, 50);
     let mut g = c.benchmark_group("fig10");
     g.bench_function("analytic_sweep", |b| {

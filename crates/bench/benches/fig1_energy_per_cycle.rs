@@ -1,6 +1,8 @@
 //! Regenerates Figure 1's energy-per-cycle sweep and times it.
+//! Correctness is gated through the experiment registry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ntc::repro::{find, RunCtx};
 use ntc_memcalc::soc::SocEnergyModel;
 use ntc_stats::sweep::voltage_grid;
 use std::hint::black_box;
@@ -13,10 +15,12 @@ fn sweep_total(model: &SocEnergyModel) -> f64 {
 }
 
 fn bench(c: &mut Criterion) {
+    // Gate before timing: the floor/dominance anchors must be in band.
+    let artifact = find("fig1").unwrap().run(&RunCtx::quick());
+    assert!(artifact.passed(), "fig1 anchors drifted: {:?}", artifact.failures());
+
     let cots = SocEnergyModel::exg_processor_40nm();
     let cell = SocEnergyModel::exg_processor_cell_based_40nm();
-    // Sanity before timing: the curves must show the paper's shape.
-    assert!(cots.operating_point(0.5).leakage_j() > cots.operating_point(0.5).dynamic_j());
     let mut g = c.benchmark_group("fig1");
     g.bench_function("cots_sweep", |b| b.iter(|| black_box(sweep_total(&cots))));
     g.bench_function("cell_based_sweep", |b| b.iter(|| black_box(sweep_total(&cell))));

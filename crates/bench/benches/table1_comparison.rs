@@ -1,14 +1,16 @@
-//! Regenerates Table 1 and times the memory calculator.
+//! Regenerates Table 1 and times the memory calculator. Correctness is
+//! gated through the experiment registry, where the paper anchors live.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc_memcalc::designs::{computed_rows, published_rows};
+use ntc::repro::{find, RunCtx};
+use ntc_memcalc::designs::computed_rows;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    // Correctness gate: anchors within 10 %.
-    for (p, q) in published_rows().iter().zip(&computed_rows()) {
-        assert!((q.dyn_energy_pj.0 / p.dyn_energy_pj.0 - 1.0).abs() < 0.10);
-    }
+    // Gate before timing: every Table 1 anchor must be in band.
+    let artifact = find("table1").unwrap().run(&RunCtx::quick());
+    assert!(artifact.passed(), "table1 anchors drifted: {:?}", artifact.failures());
+
     c.bench_function("table1/computed_rows", |b| b.iter(|| black_box(computed_rows())));
 }
 

@@ -1,14 +1,19 @@
-//! Regenerates Table 2 and times the FIT solver.
+//! Regenerates Table 2 and times the FIT solver. Correctness is gated
+//! through the experiment registry, where the paper anchors live.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ntc::fit::{paper_platform_f_max, FitSolver, Scheme, VoltageGrid};
+use ntc::repro::{find, RunCtx};
 use ntc_sram::failure::AccessLaw;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
+    // Gate before timing: every Table 2 anchor must be in band.
+    let artifact = find("table2").unwrap().run(&RunCtx::quick());
+    assert!(artifact.passed(), "table2 anchors drifted: {:?}", artifact.failures());
+
     let solver =
         FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
-    assert_eq!(solver.min_voltage(Scheme::Ocean), 0.33);
     let mut g = c.benchmark_group("table2");
     g.bench_function("error_constrained", |b| {
         b.iter(|| black_box(solver.error_constrained_voltage(Scheme::Secded)))

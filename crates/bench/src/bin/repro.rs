@@ -1,0 +1,211 @@
+//! `repro` — the one CLI for every reproduction in the workspace.
+//!
+//! ```text
+//! repro list                                     # all experiment ids
+//! repro run fig8 table2 --format text            # render artifacts
+//! repro run --all --format json --out artifacts/ # machine-readable dump
+//! repro check --all                              # verify paper anchors
+//! ```
+//!
+//! `run` defaults to full paper-fidelity Monte-Carlo sizes (`--quick`
+//! shrinks them for smoke runs); output is deterministic and
+//! byte-identical across thread counts. `check` exits nonzero when any
+//! artifact misses its paper band.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ntc::artifact::Artifact;
+use ntc::repro::{find, registry, RunCtx};
+use ntc_bench::{csv_sections, render_csv, render_text};
+
+/// Output format of `repro run`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Csv,
+    Json,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  repro list\n  repro run <id...>|--all [--format text|csv|json] \
+         [--out <dir>] [--quick] [--seed <n>]\n  repro check <id...>|--all [--quick] [--seed <n>]"
+    );
+    std::process::exit(2);
+}
+
+/// Parsed `run`/`check` options.
+struct Options {
+    ids: Vec<String>,
+    all: bool,
+    format: Format,
+    out: Option<PathBuf>,
+    quick: bool,
+    seed: Option<u64>,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        ids: Vec::new(),
+        all: false,
+        format: Format::Text,
+        out: None,
+        quick: false,
+        seed: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => opts.all = true,
+            "--quick" => opts.quick = true,
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("csv") => Format::Csv,
+                    Some("json") => Format::Json,
+                    _ => usage(),
+                }
+            }
+            "--out" => match it.next() {
+                Some(dir) => opts.out = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => opts.seed = Some(seed),
+                None => usage(),
+            },
+            flag if flag.starts_with('-') => usage(),
+            id => opts.ids.push(id.to_string()),
+        }
+    }
+    if opts.all != opts.ids.is_empty() {
+        // Either explicit ids or --all, not both and not neither.
+        usage();
+    }
+    opts
+}
+
+fn context(opts: &Options) -> RunCtx {
+    let ctx = if opts.quick { RunCtx::quick() } else { RunCtx::paper() };
+    match opts.seed {
+        Some(seed) => ctx.with_seed(seed),
+        None => ctx,
+    }
+}
+
+/// Resolves the requested experiments, exiting on unknown ids.
+fn resolve(opts: &Options) -> Vec<Box<dyn ntc::repro::Experiment>> {
+    if opts.all {
+        return registry();
+    }
+    opts.ids
+        .iter()
+        .map(|id| {
+            find(id).unwrap_or_else(|| {
+                eprintln!("unknown experiment `{id}` — see `repro list`");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn write_file(path: &Path, contents: &str) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", parent.display());
+            std::process::exit(1);
+        });
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+}
+
+fn emit(artifact: &Artifact, format: Format, out: Option<&Path>) {
+    match (format, out) {
+        (Format::Text, None) => print!("{}", render_text(artifact)),
+        (Format::Csv, None) => print!("{}", render_csv(artifact)),
+        (Format::Json, None) => print!("{}", artifact.to_json()),
+        (Format::Text, Some(dir)) => {
+            write_file(&dir.join(format!("{}.txt", artifact.id)), &render_text(artifact));
+        }
+        (Format::Json, Some(dir)) => {
+            write_file(&dir.join(format!("{}.json", artifact.id)), &artifact.to_json());
+        }
+        (Format::Csv, Some(dir)) => {
+            for (name, csv) in csv_sections(artifact) {
+                write_file(&dir.join(format!("{}_{}.csv", artifact.id, name)), &csv);
+            }
+        }
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    for e in registry() {
+        println!("{:<22} {}", e.id(), e.description());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(opts: &Options) -> ExitCode {
+    let ctx = context(opts);
+    for e in resolve(opts) {
+        let artifact = e.run(&ctx);
+        emit(&artifact, opts.format, opts.out.as_deref());
+        if let Some(dir) = &opts.out {
+            eprintln!("wrote {} ({})", dir.join(artifact.id.as_str()).display(), match opts.format {
+                Format::Text => "text",
+                Format::Csv => "csv",
+                Format::Json => "json",
+            });
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(opts: &Options) -> ExitCode {
+    let ctx = context(opts);
+    let mut total = 0usize;
+    let mut missed = 0usize;
+    println!(
+        "{:<22} {:<52} {:>14} {:>14}   verdict",
+        "experiment", "anchor", "measured", "paper"
+    );
+    for e in resolve(opts) {
+        let artifact = e.run(&ctx);
+        for check in artifact.checks() {
+            total += 1;
+            let ok = check.passes();
+            if !ok {
+                missed += 1;
+            }
+            println!(
+                "{:<22} {:<52} {:>14.6} {:>14.6}   {} ({})",
+                artifact.id,
+                check.label,
+                check.measured,
+                check.paper.paper,
+                if ok { "ok" } else { "MISS" },
+                check.paper.band,
+            );
+        }
+    }
+    println!("\n{} anchors checked, {} missed", total, missed);
+    if missed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&parse_options(&args[1..])),
+        Some("check") => cmd_check(&parse_options(&args[1..])),
+        _ => usage(),
+    }
+}

@@ -1,17 +1,22 @@
-//! Shared helpers for the table/figure regeneration binaries and the
-//! Criterion benches.
+//! Shared helpers for the `repro` CLI and the Criterion benches.
 //!
-//! Every published table and figure has two regeneration paths:
+//! Every published table and figure is regenerated through the central
+//! experiment registry (`ntc::repro`):
 //!
-//! * a binary (`cargo run --release -p ntc-bench --bin fig8`) that prints
-//!   the same rows/series the paper reports, annotated with the paper's
-//!   values where they are quoted; and
-//! * a Criterion bench (`cargo bench -p ntc-bench --bench fig8_power_290khz`)
-//!   that times the regeneration, so performance regressions in the models
-//!   are caught alongside correctness regressions.
+//! * the `repro` binary (`cargo run --release -p ntc-bench --bin repro --
+//!   run fig8`) renders any registered experiment's artifact as text, CSV
+//!   or JSON, and `repro check --all` verifies every paper anchor; and
+//! * the Criterion benches time the same registry runs, so performance
+//!   regressions in the models are caught alongside correctness
+//!   regressions.
+//!
+//! This crate holds the presentation layer: [`render_text`],
+//! [`csv_sections`] and the small ASCII plotting helpers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use ntc::artifact::{Artifact, Cell, Table};
 
 /// Formats a paper-vs-measured comparison line.
 ///
@@ -29,20 +34,210 @@ pub fn compare_line(label: &str, paper: f64, measured: f64, unit: &str) -> Strin
 
 /// Renders a simple ASCII series (for figure-like output in terminals).
 ///
+/// Bars are scaled between the series' minimum and maximum, so series
+/// with a large offset (e.g. voltages around 0.8 V) still show their
+/// shape. A `width` of zero renders labels only. Negative and
+/// non-finite values clamp to an empty bar.
+///
 /// # Panics
 ///
 /// Panics if `points` is empty.
 pub fn ascii_series(title: &str, points: &[(f64, f64)], width: usize) -> String {
     assert!(!points.is_empty(), "series must have points");
-    let max = points
-        .iter()
-        .map(|&(_, y)| y)
-        .fold(f64::MIN, f64::max)
-        .max(1e-300);
+    let finite = points.iter().map(|&(_, y)| y).filter(|y| y.is_finite());
+    let min = finite.clone().fold(f64::INFINITY, f64::min);
+    let max = finite.fold(f64::NEG_INFINITY, f64::max);
+    let span = if (max - min).abs() > 1e-300 { max - min } else { 1.0 };
     let mut out = format!("{title}\n");
     for &(x, y) in points {
-        let bar = ((y / max) * width as f64).round() as usize;
+        let frac = if y.is_finite() { ((y - min) / span).clamp(0.0, 1.0) } else { 0.0 };
+        let bar = (frac * width as f64).round() as usize;
         out.push_str(&format!("{x:>8.3} | {:<width$} {y:.3e}\n", "#".repeat(bar)));
+    }
+    out
+}
+
+/// Formats a number the way the artifact JSON does: shortest string that
+/// round-trips the exact `f64`, so text/CSV output is byte-stable.
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".into()
+    } else if v > 0.0 {
+        "inf".into()
+    } else {
+        "-inf".into()
+    }
+}
+
+/// One table cell as rendered text.
+fn fmt_cell(cell: &Cell) -> String {
+    match cell {
+        Cell::Text(s) => s.clone(),
+        Cell::Num(v) => fmt_num(*v),
+    }
+}
+
+/// Renders one table with aligned columns.
+fn render_table(table: &Table) -> String {
+    let headers: Vec<String> = table
+        .columns
+        .iter()
+        .map(|c| {
+            if c.unit.is_empty() {
+                c.name.clone()
+            } else {
+                format!("{} [{}]", c.name, c.unit)
+            }
+        })
+        .collect();
+    let rows: Vec<Vec<String>> =
+        table.rows().iter().map(|r| r.iter().map(fmt_cell).collect()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = format!("## {}\n", table.name);
+    let line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&line(&headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an artifact as human-readable text: title, tables, series,
+/// scalars, and a verdict line per paper anchor.
+pub fn render_text(artifact: &Artifact) -> String {
+    let mut out = format!("=== {} ===\n", artifact.title);
+    for table in artifact.tables() {
+        out.push('\n');
+        out.push_str(&render_table(table));
+    }
+    for series in artifact.series() {
+        out.push('\n');
+        out.push_str(&format!(
+            "## {} ({} [{}] vs {} [{}]): {} points, y in [{}, {}]\n",
+            series.label,
+            series.y_name,
+            series.y_unit,
+            series.x_name,
+            series.x_unit,
+            series.points.len(),
+            fmt_num(series.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min)),
+            fmt_num(series.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max)),
+        ));
+    }
+    let scalars: Vec<_> = artifact.scalars().collect();
+    if !scalars.is_empty() {
+        out.push('\n');
+        for s in &scalars {
+            match &s.paper {
+                Some(p) => out.push_str(&format!(
+                    "{:<52} {} {}   (paper {} {}, {})\n",
+                    s.label,
+                    fmt_num(s.value),
+                    s.unit,
+                    fmt_num(p.paper),
+                    s.unit,
+                    p.band,
+                )),
+                None => out.push_str(&format!("{:<52} {} {}\n", s.label, fmt_num(s.value), s.unit)),
+            }
+        }
+    }
+    let checks = artifact.checks();
+    if !checks.is_empty() {
+        out.push('\n');
+        for c in &checks {
+            out.push_str(&format!("{c}\n"));
+        }
+    }
+    out
+}
+
+/// Renders an artifact as named CSV sections: one per table (named after
+/// the table), one per series (`series_<label>`), and one `scalars`
+/// section with the anchor verdicts.
+pub fn csv_sections(artifact: &Artifact) -> Vec<(String, String)> {
+    fn quote(field: &str) -> String {
+        if field.contains([',', '"', '\n']) {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
+    let mut sections = Vec::new();
+    for table in artifact.tables() {
+        let mut csv = table
+            .columns
+            .iter()
+            .map(|c| quote(&c.name))
+            .collect::<Vec<_>>()
+            .join(",");
+        csv.push('\n');
+        for row in table.rows() {
+            csv.push_str(
+                &row.iter().map(|c| quote(&fmt_cell(c))).collect::<Vec<_>>().join(","),
+            );
+            csv.push('\n');
+        }
+        sections.push((table.name.clone(), csv));
+    }
+    for series in artifact.series() {
+        let mut csv = format!("{},{}\n", quote(&series.x_name), quote(&series.y_name));
+        for &(x, y) in &series.points {
+            csv.push_str(&format!("{},{}\n", fmt_num(x), fmt_num(y)));
+        }
+        sections.push((format!("series_{}", series.label), csv));
+    }
+    let scalars: Vec<_> = artifact.scalars().collect();
+    if !scalars.is_empty() {
+        let mut csv = String::from("label,unit,value,paper,band,ok\n");
+        for s in scalars {
+            let (paper, band, ok) = match &s.paper {
+                Some(p) => (
+                    fmt_num(p.paper),
+                    p.band.to_string(),
+                    if p.holds(s.value) { "yes" } else { "NO" }.to_string(),
+                ),
+                None => (String::new(), String::new(), String::new()),
+            };
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                quote(&s.label),
+                quote(&s.unit),
+                fmt_num(s.value),
+                paper,
+                quote(&band),
+                ok
+            ));
+        }
+        sections.push(("scalars".into(), csv));
+    }
+    sections
+}
+
+/// Renders all CSV sections as one stream with `# section:` separators.
+pub fn render_csv(artifact: &Artifact) -> String {
+    let mut out = String::new();
+    for (name, csv) in csv_sections(artifact) {
+        out.push_str(&format!("# section: {name}\n"));
+        out.push_str(&csv);
     }
     out
 }
@@ -50,6 +245,16 @@ pub fn ascii_series(title: &str, points: &[(f64, f64)], width: usize) -> String 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ntc::artifact::{Column, PaperRef};
+
+    fn sample() -> Artifact {
+        Artifact::new("t", "Test artifact")
+            .with_table(
+                Table::new("tab", vec![Column::bare("k"), Column::new("v", "V")])
+                    .with_row(vec![Cell::Text("a".into()), Cell::Num(0.33)]),
+            )
+            .with_anchor("anchor", "V", 0.33, PaperRef::exact(0.33))
+    }
 
     #[test]
     fn compare_line_contains_both_numbers() {
@@ -67,5 +272,48 @@ mod tests {
     #[should_panic(expected = "points")]
     fn ascii_series_rejects_empty() {
         ascii_series("t", &[], 10);
+    }
+
+    #[test]
+    fn ascii_series_scales_between_min_and_max() {
+        // An offset series still shows shape: smallest value → empty bar,
+        // largest → full width.
+        let s = ascii_series("t", &[(0.1, 100.0), (0.2, 101.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(!lines[1].contains('#'), "min bar empty: {}", lines[1]);
+        assert!(lines[2].contains(&"#".repeat(10)), "max bar full: {}", lines[2]);
+    }
+
+    #[test]
+    fn ascii_series_handles_zero_width_and_flat_series() {
+        let s = ascii_series("t", &[(0.1, 5.0), (0.2, 5.0)], 0);
+        assert_eq!(s.lines().count(), 3, "no panic on width 0 / flat series");
+        let nan = ascii_series("t", &[(0.1, f64::NAN)], 8);
+        assert!(!nan.contains('#'), "non-finite values clamp to empty bars");
+    }
+
+    #[test]
+    fn text_render_includes_table_and_verdict() {
+        let text = render_text(&sample());
+        assert!(text.contains("## tab"));
+        assert!(text.contains("v [V]"));
+        assert!(text.contains("anchor"));
+        assert!(text.contains("ok"), "{text}");
+    }
+
+    #[test]
+    fn csv_sections_cover_tables_and_scalars() {
+        let sections = csv_sections(&sample());
+        let names: Vec<&str> = sections.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["tab", "scalars"]);
+        assert!(sections[0].1.starts_with("k,v\n"));
+        assert!(sections[1].1.contains("anchor,V,0.33,0.33"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        let a = Artifact::new("q", "quoting").with_scalar("a,b", "1", 1.0);
+        let csv = render_csv(&a);
+        assert!(csv.contains("\"a,b\""), "{csv}");
     }
 }

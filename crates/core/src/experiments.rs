@@ -390,6 +390,22 @@ fn finish(
     }
 }
 
+/// The row for `policy` in a set of experiment results, looked up by
+/// policy identity rather than position — reorderings of the result set
+/// cannot silently redirect a savings computation to the wrong row.
+pub fn result_for(
+    rows: &[ExperimentResult],
+    policy: MitigationPolicy,
+) -> Option<&ExperimentResult> {
+    rows.iter().find(|r| r.policy == policy)
+}
+
+/// Fractional total-power saving of `new` relative to `base`
+/// (`1 − P_new / P_base`).
+pub fn power_saving(base: &ExperimentResult, new: &ExperimentResult) -> f64 {
+    1.0 - new.total_power_w() / base.total_power_w()
+}
+
 /// The Figure 8 experiment: 290 kHz on the cell-based memory at the
 /// Table 2 voltages (0.55 / 0.44 / 0.33 V).
 ///
@@ -398,22 +414,38 @@ fn finish(
 /// randomness is seeded inside), so the rows are identical to a serial
 /// map and come back in policy order.
 pub fn figure8() -> Vec<ExperimentResult> {
+    figure8_seeded(2014)
+}
+
+/// [`figure8`] with an explicit input/fault seed.
+pub fn figure8_seeded(seed: u64) -> Vec<ExperimentResult> {
     let solver =
         FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
     par_map_slice(&MitigationPolicy::ALL, |&policy| {
         let vdd = solver.min_voltage(policy.scheme());
-        run_experiment(&ExperimentConfig::cell_based(policy, vdd, 290e3))
+        run_experiment(&ExperimentConfig {
+            seed,
+            ..ExperimentConfig::cell_based(policy, vdd, 290e3)
+        })
     })
 }
 
 /// The Figure 9 experiment: 11 MHz on the commercial memory at
 /// 0.88 / 0.77 / 0.66 V. Policies run concurrently, as in [`figure8`].
 pub fn figure9() -> Vec<ExperimentResult> {
+    figure9_seeded(2014)
+}
+
+/// [`figure9`] with an explicit input/fault seed.
+pub fn figure9_seeded(seed: u64) -> Vec<ExperimentResult> {
     let solver =
         FitSolver::new(AccessLaw::commercial_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
     par_map_slice(&MitigationPolicy::ALL, |&policy| {
         let vdd = solver.min_voltage(policy.scheme());
-        run_experiment(&ExperimentConfig::commercial(policy, vdd, 11e6))
+        run_experiment(&ExperimentConfig {
+            seed,
+            ..ExperimentConfig::commercial(policy, vdd, 11e6)
+        })
     })
 }
 
@@ -435,20 +467,44 @@ pub struct Headline {
     pub dynamic_power_gain: f64,
 }
 
+impl Headline {
+    /// Computes the headline ratios from already-measured Figure 8/9 rows.
+    ///
+    /// Rows are located by [`MitigationPolicy`], not by position, so any
+    /// ordering of the inputs yields the same ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is missing one of the three policies.
+    pub fn from_rows(f8: &[ExperimentResult], f9: &[ExperimentResult]) -> Headline {
+        let pick = |rows: &[ExperimentResult], policy| -> ExperimentResult {
+            result_for(rows, policy)
+                .unwrap_or_else(|| panic!("missing {policy:?} row"))
+                .clone()
+        };
+        let (none8, ecc8, ocean8) = (
+            pick(f8, MitigationPolicy::NoMitigation),
+            pick(f8, MitigationPolicy::Secded),
+            pick(f8, MitigationPolicy::Ocean),
+        );
+        let (none9, ecc9, ocean9) = (
+            pick(f9, MitigationPolicy::NoMitigation),
+            pick(f9, MitigationPolicy::Secded),
+            pick(f9, MitigationPolicy::Ocean),
+        );
+        Headline {
+            ocean_vs_none_290khz: power_saving(&none8, &ocean8),
+            ocean_vs_ecc_290khz: power_saving(&ecc8, &ocean8),
+            ocean_vs_none_11mhz: power_saving(&none9, &ocean9),
+            ocean_vs_ecc_11mhz: power_saving(&ecc9, &ocean9),
+            dynamic_power_gain: none8.dynamic_power_w() / ocean8.dynamic_power_w(),
+        }
+    }
+}
+
 /// Computes the headline ratios from the Figure 8/9 experiments.
 pub fn headline() -> Headline {
-    let f8 = figure8();
-    let f9 = figure9();
-    let saving = |base: &ExperimentResult, new: &ExperimentResult| {
-        1.0 - new.total_power_w() / base.total_power_w()
-    };
-    Headline {
-        ocean_vs_none_290khz: saving(&f8[0], &f8[2]),
-        ocean_vs_ecc_290khz: saving(&f8[1], &f8[2]),
-        ocean_vs_none_11mhz: saving(&f9[0], &f9[2]),
-        ocean_vs_ecc_11mhz: saving(&f9[1], &f9[2]),
-        dynamic_power_gain: f8[0].dynamic_power_w() / f8[2].dynamic_power_w(),
-    }
+    Headline::from_rows(&figure8(), &figure9())
 }
 
 #[cfg(test)]

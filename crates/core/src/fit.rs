@@ -336,21 +336,27 @@ pub fn paper_platform_cache_stats() -> ntc_memcalc::cache::CacheStats {
     paper_platform_soc().stats()
 }
 
+/// A fresh memoized platform model, identical to the one behind
+/// [`paper_platform_f_max`] but with its own cache. [`crate::repro::RunCtx`]
+/// carries one per context so experiment runs share memo hits without
+/// touching the global counters.
+pub fn paper_platform_model() -> CachedSoc {
+    use ntc_memcalc::soc::{SocComponent, SocEnergyModel};
+    // A single-component stub: only the timing anchor matters here.
+    CachedSoc::new(SocEnergyModel::new(
+        vec![SocComponent::new("platform", 1e-12, 1.0, 1e-9)],
+        1.1,
+        ntc_tech::card::n40lp(),
+        0.45,
+        290e3,
+        0.33,
+    ))
+}
+
 /// The shared memoized platform model.
 fn paper_platform_soc() -> &'static CachedSoc {
-    use ntc_memcalc::soc::{SocComponent, SocEnergyModel};
     static SOC: OnceLock<CachedSoc> = OnceLock::new();
-    SOC.get_or_init(|| {
-        // A single-component stub: only the timing anchor matters here.
-        CachedSoc::new(SocEnergyModel::new(
-            vec![SocComponent::new("platform", 1e-12, 1.0, 1e-9)],
-            1.1,
-            ntc_tech::card::n40lp(),
-            0.45,
-            290e3,
-            0.33,
-        ))
-    })
+    SOC.get_or_init(paper_platform_model)
 }
 
 #[cfg(test)]

@@ -42,9 +42,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod calculator;
 pub mod experiments;
 pub mod fit;
+pub mod repro;
 pub mod monitor;
 pub mod parallel;
 pub mod standby;

@@ -1,0 +1,179 @@
+//! Structured-artifact invariants: JSON round-trips, registry hygiene,
+//! and the equivalence between `repro check` verdicts and the direct
+//! model assertions the legacy test suite used to spell out by hand.
+
+use std::sync::OnceLock;
+
+use ntc::artifact::{Artifact, Band, PaperRef};
+use ntc::repro::{experiment_ids, find, registry, RunCtx};
+use proptest::prelude::*;
+
+/// One shared quick-scale context so the fig8/fig9 rows are simulated
+/// once per test binary.
+fn ctx() -> &'static RunCtx {
+    static CTX: OnceLock<RunCtx> = OnceLock::new();
+    CTX.get_or_init(RunCtx::quick)
+}
+
+/// All registry artifacts, run once per test binary.
+fn artifacts() -> &'static [Artifact] {
+    static ALL: OnceLock<Vec<Artifact>> = OnceLock::new();
+    ALL.get_or_init(|| registry().iter().map(|e| e.run(ctx())).collect())
+}
+
+/// Every registered experiment's artifact survives a JSON round-trip
+/// bit-exactly (the writer emits shortest round-trip float strings).
+#[test]
+fn every_artifact_round_trips_through_json() {
+    for a in artifacts() {
+        let json = a.to_json();
+        let back = Artifact::from_json(&json)
+            .unwrap_or_else(|e| panic!("{}: invalid JSON emitted: {e:?}", a.id));
+        assert_eq!(&back, a, "{} artifact changed across serialize/parse", a.id);
+        // The re-serialization is byte-identical, so `repro run --out`
+        // files are stable fixtures.
+        assert_eq!(back.to_json(), json, "{} JSON not canonical", a.id);
+    }
+}
+
+/// Artifact ids match their experiment ids, and verdicts are consistent:
+/// `passed()` is exactly "no failures", and every check agrees with its
+/// own `PaperRef::holds`.
+#[test]
+fn artifact_ids_and_verdicts_are_consistent() {
+    for (e, a) in registry().iter().zip(artifacts()) {
+        assert_eq!(e.id(), a.id, "artifact id diverged from experiment id");
+        assert_eq!(a.passed(), a.failures().is_empty());
+        for c in a.checks() {
+            assert_eq!(c.passes(), c.paper.holds(c.measured), "{}/{}", a.id, c.label);
+        }
+    }
+}
+
+/// The registry enumerates at least the 13 figure/table reproductions
+/// plus the ablations, with unique ids.
+#[test]
+fn registry_is_complete_and_unique() {
+    let ids = experiment_ids();
+    assert!(ids.len() >= 17, "registry shrank to {} experiments", ids.len());
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "duplicate experiment id");
+}
+
+/// `repro check` verdicts agree with the direct model assertions the
+/// legacy `paper_numbers` tests used: the Table 2 / Figure 9 artifact
+/// cells equal what the FIT solver computes when called directly, so a
+/// passing anchor is exactly a passing legacy assertion.
+#[test]
+fn check_verdicts_match_direct_solver_assertions() {
+    use ntc::fit::{FitSolver, Scheme, VoltageGrid};
+    use ntc_sram::failure::AccessLaw;
+
+    let a = find("table2").unwrap().run(ctx());
+    let solver =
+        FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
+    let table = a.table("min_voltage").expect("table2 min_voltage table");
+    for (label, f) in [("290 kHz", 290e3), ("1.96 MHz", 1.96e6)] {
+        let row = solver.table_row(f, ctx().f_max());
+        for (col, direct) in ["no_mitigation", "ecc", "ocean"].iter().zip(&row) {
+            assert_eq!(
+                table.num("frequency", label, col),
+                Some(direct.operating),
+                "table2 {label}/{col} diverged from the solver"
+            );
+        }
+    }
+    // Same for the bound arithmetic: the artifact's measured values ARE
+    // the solver outputs, so band verdicts and direct assertions agree.
+    for (scheme, label) in [
+        (Scheme::Secded, "SECDED max tolerable bit error rate"),
+        (Scheme::Ocean, "OCEAN max tolerable bit error rate"),
+    ] {
+        let plain = FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15);
+        let check = a
+            .checks()
+            .into_iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("missing `{label}` anchor"));
+        assert_eq!(check.measured, plain.max_p_bit(scheme));
+        assert_eq!(check.passes(), check.paper.holds(plain.max_p_bit(scheme)));
+    }
+
+    let fig9 = find("fig9").unwrap().run(ctx());
+    let commercial =
+        FitSolver::new(AccessLaw::commercial_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
+    for (scheme, label) in [
+        (Scheme::NoMitigation, "No mitigation operating voltage"),
+        (Scheme::Secded, "ECC (SECDED) operating voltage"),
+        (Scheme::Ocean, "OCEAN operating voltage"),
+    ] {
+        let check = fig9
+            .checks()
+            .into_iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("missing `{label}` anchor"));
+        assert_eq!(
+            check.measured,
+            commercial.min_voltage(scheme),
+            "fig9 {label} diverged from the solver"
+        );
+    }
+}
+
+proptest! {
+    /// `Band::Rel` verdicts equal the legacy `(m/p - 1).abs() <= tol`
+    /// relative-tolerance assertions for positive paper values.
+    #[test]
+    fn rel_band_matches_legacy_relative_assert(
+        paper in 0.01f64..100.0,
+        tol in 0.0f64..0.5,
+        measured in -10.0f64..200.0,
+    ) {
+        let anchor = PaperRef::rel(paper, tol);
+        prop_assert_eq!(anchor.holds(measured), (measured / paper - 1.0).abs() <= tol);
+    }
+
+    /// `Band::Abs` verdicts equal the legacy `(m - p).abs() <= tol`
+    /// assertions.
+    #[test]
+    fn abs_band_matches_legacy_absolute_assert(
+        paper in -10.0f64..10.0,
+        tol in 0.0f64..1.0,
+        measured in -20.0f64..20.0,
+    ) {
+        let anchor = PaperRef::abs(paper, tol);
+        prop_assert_eq!(anchor.holds(measured), (measured - paper).abs() <= tol);
+    }
+
+    /// `Band::Range` verdicts equal the legacy `(lo..hi).contains(&m)`
+    /// style assertions (closed interval).
+    #[test]
+    fn range_band_matches_legacy_interval_assert(
+        lo in -10.0f64..10.0,
+        width in 0.0f64..10.0,
+        measured in -30.0f64..30.0,
+    ) {
+        let anchor = PaperRef::range(lo + width / 2.0, lo, lo + width);
+        prop_assert_eq!(anchor.holds(measured), measured >= lo && measured <= lo + width);
+    }
+
+    /// Exact anchors admit exactly one value.
+    #[test]
+    fn exact_band_admits_only_the_paper_value(paper in -10.0f64..10.0, delta in 1e-12f64..1.0) {
+        let anchor = PaperRef::exact(paper);
+        prop_assert!(anchor.holds(paper));
+        prop_assert!(!anchor.holds(paper + delta));
+        prop_assert!(!anchor.holds(paper - delta));
+    }
+
+    /// One-sided bands are each other's mirror.
+    #[test]
+    fn one_sided_bands_mirror(bound in -10.0f64..10.0, measured in -20.0f64..20.0) {
+        prop_assume!(measured != bound);
+        let lo = Band::AtLeast(bound);
+        let hi = Band::AtMost(bound);
+        prop_assert_eq!(lo.admits(bound, measured), !hi.admits(bound, measured));
+    }
+}

@@ -1,108 +1,138 @@
-//! One test per published anchor number: if any of these fails, the
-//! reproduction has drifted from the paper. `EXPERIMENTS.md` documents the
-//! same mapping in prose.
+//! Paper-anchor regression tests, driven by the experiment registry.
+//!
+//! Every published number lives as a [`PaperRef`] anchor inside
+//! `ntc::repro` — the same single source `repro check --all` verifies —
+//! so this file asserts *verdicts*, not literals. If any test here
+//! fails, the reproduction has drifted from the paper; run
+//! `cargo run --release -p ntc-bench --bin repro -- check <id>` for the
+//! full measured-vs-paper table. `EXPERIMENTS.md` documents the mapping
+//! in prose.
+//!
+//! The two claims at the bottom (leakage scaling, margin decomposition)
+//! quantify prose arguments from Sections II and IV that are not figure
+//! or table anchors, so they stay as direct model assertions.
 
-use ntc::fit::{paper_platform_f_max, FitSolver, Scheme, VoltageGrid};
-use ntc_memcalc::designs::{computed_rows, published_rows};
-use ntc_memcalc::soc::SocEnergyModel;
-use ntc_sram::failure::{AccessLaw, RetentionLaw};
-use ntc_tech::card;
-use ntc_tech::inverter::Inverter;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
-/// Eq. 5, commercial macro: A = 6, k = 6.14, V0 = 0.85 — quoted verbatim.
-#[test]
-fn eq5_commercial_constants() {
-    let law = AccessLaw::commercial_40nm();
-    assert_eq!(law.amplitude(), 6.0);
-    assert_eq!(law.exponent(), 6.14);
-    assert_eq!(law.v0(), 0.85);
+use ntc::artifact::Artifact;
+use ntc::repro::{experiment_ids, find, RunCtx};
+
+/// One shared quick-scale context so the fig8/fig9 rows are simulated
+/// once per test binary.
+fn ctx() -> &'static RunCtx {
+    static CTX: OnceLock<RunCtx> = OnceLock::new();
+    CTX.get_or_init(RunCtx::quick)
 }
 
-/// Section IV: the cell-based macro's worst-case minimal access voltage
-/// is 0.55 V.
-#[test]
-fn cell_based_knee() {
-    assert_eq!(AccessLaw::cell_based_40nm().v0(), 0.55);
+/// Runs an experiment once per test binary and caches its artifact.
+fn artifact(id: &str) -> Artifact {
+    static CACHE: OnceLock<Mutex<HashMap<String, Artifact>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap();
+    map.entry(id.to_string())
+        .or_insert_with(|| find(id).expect("registered experiment").run(ctx()))
+        .clone()
 }
 
-/// Table 1 retention voltages: 0.25 V (65 nm cell-based), 0.32 V (imec).
-#[test]
-fn table1_retention_voltages() {
-    let bits = 32 * 1024;
-    assert!((RetentionLaw::cell_based_65nm().macro_retention_voltage(bits) - 0.25).abs() < 0.01);
-    assert!((RetentionLaw::cell_based_40nm().macro_retention_voltage(bits) - 0.32).abs() < 0.01);
+/// Asserts every paper anchor of one experiment lands in its band.
+fn assert_in_band(id: &str) {
+    let a = artifact(id);
+    assert!(a.passed(), "{id} missed its paper band(s): {:?}", a.failures());
 }
 
-/// Table 1's published energy / leakage / performance / area anchors are
-/// reproduced by the calculator within 10 %.
+/// The registry-wide equivalent of `repro check --all`: every anchor of
+/// every registered experiment must land in its band.
 #[test]
-fn table1_reproduced() {
-    for (p, c) in published_rows().iter().zip(&computed_rows()) {
-        let e = (c.dyn_energy_pj.0 / p.dyn_energy_pj.0 - 1.0).abs();
-        assert!(e < 0.10, "{}: energy off by {:.1} %", p.design, e * 100.0);
-        let f = (c.performance_mhz.0 / p.performance_mhz.0 - 1.0).abs();
-        assert!(f < 0.10, "{}: f_max off by {:.1} %", p.design, f * 100.0);
+fn every_registered_experiment_passes_its_anchors() {
+    let mut checked = 0;
+    for id in experiment_ids() {
+        let a = artifact(id);
+        assert!(a.passed(), "{id} missed its paper band(s): {:?}", a.failures());
+        checked += a.checks().len();
+    }
+    assert!(checked >= 50, "only {checked} anchors checked — registry shrank?");
+}
+
+/// Eq. 5 constants (A, k, V0 commercial, V0 cell-based) and the
+/// Monte-Carlo re-fit of the commercial knee.
+#[test]
+fn fig5_eq5_constants_reproduced() {
+    let a = artifact("fig5");
+    assert_in_band("fig5");
+    // The verbatim constants must be present as exact anchors, not just
+    // buried in a table.
+    for label in ["Eq.5 commercial knee V0", "cell-based knee V0"] {
+        assert!(
+            a.checks().iter().any(|c| c.label == label),
+            "fig5 lost its `{label}` anchor"
+        );
     }
 }
 
-/// Table 2, all six cells.
+/// Table 1: retention voltages plus the energy / f_max columns of all
+/// six designs within the calculator's tolerance.
+#[test]
+fn table1_reproduced() {
+    assert_in_band("table1");
+}
+
+/// Table 2 (all six cells at both frequencies) and the FIT bound
+/// arithmetic behind it (max tolerable bit-error rates).
 #[test]
 fn table2_reproduced() {
-    let solver =
-        FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
-    let row_290k = solver.table_row(290e3, paper_platform_f_max);
-    assert_eq!(
-        [row_290k[0].operating, row_290k[1].operating, row_290k[2].operating],
-        [0.55, 0.44, 0.33]
-    );
-    let row_2m = solver.table_row(1.96e6, paper_platform_f_max);
-    assert_eq!(
-        [row_2m[0].operating, row_2m[1].operating, row_2m[2].operating],
-        [0.55, 0.44, 0.44]
-    );
+    let a = artifact("table2");
+    assert_in_band("table2");
+    // The published grid is 3 schemes x 2 frequencies = 6 exact cells.
+    let grid_checks =
+        a.checks().iter().filter(|c| c.label.contains(" at ")).count();
+    assert_eq!(grid_checks, 6, "Table 2 must anchor all six cells");
 }
 
-/// Figure 9's operating voltages: 0.88 / 0.77 / 0.66 V on the commercial
-/// macro.
+/// Figure 9's commercial-macro operating voltages per mitigation scheme.
 #[test]
 fn figure9_voltages_reproduced() {
-    let solver =
-        FitSolver::new(AccessLaw::commercial_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
-    let got: Vec<f64> = Scheme::ALL.iter().map(|&s| solver.min_voltage(s)).collect();
-    assert_eq!(got, vec![0.88, 0.77, 0.66]);
+    assert_in_band("fig9");
 }
 
-/// Figure 1's qualitative content: the memory's dynamic energy flattens
-/// below 0.7 V, leakage dominates below 0.6 V, and the optimum moves
-/// deeper once cell-based memories remove the floor.
+/// Figure 1's qualitative content: the memory energy floor and leakage
+/// dominance are anchored; removing the floor moves the optimum down.
 #[test]
 fn figure1_shape() {
-    let cots = SocEnergyModel::exg_processor_40nm();
-    let a = cots.operating_point(0.69).components[1].dynamic_j;
-    let b = cots.operating_point(0.45).components[1].dynamic_j;
-    assert_eq!(a, b, "memory floor");
-    let pt = cots.operating_point(0.5);
-    assert!(pt.leakage_j() > pt.dynamic_j(), "leakage dominance below 0.6 V");
-    let cell = SocEnergyModel::exg_processor_cell_based_40nm();
+    let a = artifact("fig1");
+    assert_in_band("fig1");
+    let cots = a.scalar("COTS-memory optimum voltage").expect("cots optimum");
+    let cell = a.scalar("cell-based optimum voltage").expect("cell optimum");
     assert!(
-        cell.optimal_voltage(0.4, 1.1, 141) <= cots.optimal_voltage(0.4, 1.1, 141),
-        "removing the floor moves the optimum to lower voltage"
+        cell <= cots,
+        "removing the memory floor must move the optimum to lower voltage \
+         ({cell} V vs {cots} V)"
     );
 }
 
-/// Figure 10's headline: ~2x speedup from 14 nm to 10 nm, and tighter
+/// Figure 10's headline: the 14 nm to 10 nm speedup band, and tighter
 /// spread on the newer nodes.
 #[test]
 fn figure10_shape() {
-    let inv14 = Inverter::fo4(&card::n14finfet());
+    use ntc_tech::card;
+    use ntc_tech::inverter::Inverter;
+
+    assert_in_band("fig10");
+    // Relational claim not expressible as a scalar anchor: the modern
+    // node is tighter at matched threshold depth.
     let inv10 = Inverter::fo4(&card::n10gaa());
-    let speedup = inv14.delay(0.6) / inv10.delay(0.6);
-    assert!((1.6..3.4).contains(&speedup), "speedup {speedup}");
     let planar = Inverter::fo4(&card::n40lp());
     assert!(
         inv10.relative_sigma(0.38) < planar.relative_sigma(0.54),
         "modern node must be tighter at matched threshold depth"
     );
+}
+
+/// The (57,32) t = 4 BCH protected buffer: codeword width, exact
+/// FIT-limited voltage, and its landing on the paper's voltage grid.
+#[test]
+fn quad_buffer_consistent_with_table2_grid() {
+    assert_in_band("ablation_buffer_code");
 }
 
 /// Section II: supply scaling buys roughly an order of magnitude of
@@ -111,6 +141,7 @@ fn figure10_shape() {
 fn leakage_scaling_claim() {
     use ntc_memcalc::instance::{MemoryMacro, MemoryOrganization};
     use ntc_sram::styles::CellStyle;
+    use ntc_tech::card;
     let m = MemoryMacro::new(
         CellStyle::CellBasedAoi,
         MemoryOrganization::reference_1kx32(),
@@ -125,6 +156,7 @@ fn leakage_scaling_claim() {
 /// worst-case PVT/ageing/tester stack.
 #[test]
 fn commercial_spec_margin_decomposition() {
+    use ntc_sram::failure::RetentionLaw;
     use ntc_tech::corners::MarginStack;
     let typical = RetentionLaw::commercial_40nm().macro_retention_voltage(32 * 1024);
     let stack = MarginStack::commercial_40nm_retention();
@@ -133,31 +165,4 @@ fn commercial_spec_margin_decomposition() {
     // Run-time monitoring recovers the corner+temp+ageing share — several
     // hundred millivolts of the gap the paper exploits.
     assert!(stack.recoverable_v() > 0.3);
-}
-
-/// The FIT bound arithmetic behind Table 2: the SECDED and OCEAN maximum
-/// tolerable bit-error rates at 1e-15.
-#[test]
-fn fit_tolerances() {
-    let solver = FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15);
-    assert!((solver.max_p_bit(Scheme::Secded) / 4.79e-7 - 1.0).abs() < 0.02);
-    assert!((solver.max_p_bit(Scheme::Ocean) / 7.05e-5 - 1.0).abs() < 0.02);
-}
-
-/// The physical protected buffer is the (57,32) t = 4 BCH, which corrects
-/// any four random errors — the paper's literal "quadruple error
-/// correction capability". Its exact FIT-limited voltage (0.342 V over 57
-/// bits) lands on the same 0.33 V grid point as the paper's 39-bit
-/// bookkeeping.
-#[test]
-fn quad_buffer_consistent_with_table2_grid() {
-    use ntc_sram::words::WordErrorModel;
-    let code = ntc_ecc::bch::BchQuad::new();
-    assert_eq!(code.codeword_bits(), 57);
-    let w = WordErrorModel::new(code.codeword_bits());
-    let p = w.max_p_bit_for_target(4, 1e-15).unwrap();
-    let v = AccessLaw::cell_based_40nm().vdd_for_p(p);
-    assert!((v - 0.342).abs() < 0.005, "exact {v}");
-    let grid = (v / 0.11_f64).round() * 0.11;
-    assert!((grid - 0.33).abs() < 1e-9);
 }
