@@ -10,7 +10,7 @@
 use ntc::fit::{paper_platform_cache_stats, paper_platform_f_max, FitSolver, VoltageGrid};
 use ntc_sram::failure::{AccessLaw, RetentionLaw};
 use ntc_sram::{DieMap, DieMapConfig};
-use ntc_stats::exec::threads;
+use ntc_stats::exec::{mc_counter, threads};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -59,6 +59,12 @@ fn main() {
             .collect::<Vec<_>>();
     let cache = paper_platform_cache_stats();
 
+    // Raw Monte-Carlo engine throughput: a rare-event trial batch big
+    // enough to keep every shard busy, reported as samples per second.
+    let mc_trials: u64 = 2_000_000;
+    let t_mc = time_median(reps, || mc_counter(mc_trials, 11, |s| s.bernoulli(1e-3)));
+    let mc_samples_per_sec = mc_trials as f64 / t_mc;
+
     let threads = threads();
     let json = format!(
         concat!(
@@ -73,7 +79,11 @@ fn main() {
             "    \"frequencies\": {}, \"schemes\": 3,\n",
             "    \"serial_ms\": {:.3}, \"parallel_ms\": {:.3},\n",
             "    \"speedup\": {:.2}, \"identical\": {},\n",
-            "    \"f_max_cache_hits\": {}, \"f_max_cache_misses\": {}\n",
+            "    \"f_max_cache_hits\": {}, \"f_max_cache_misses\": {},\n",
+            "    \"energy_cache_hit_rate\": {:.6}\n",
+            "  }},\n",
+            "  \"mc_throughput\": {{\n",
+            "    \"trials\": {}, \"parallel_ms\": {:.3}, \"samples_per_sec\": {:.0}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -90,6 +100,10 @@ fn main() {
         table2_identical,
         cache.hits,
         cache.misses,
+        cache.hit_rate(),
+        mc_trials,
+        t_mc * 1e3,
+        mc_samples_per_sec,
     );
     print!("{json}");
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_mc.json");

@@ -14,10 +14,12 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use ntc::artifact::Artifact;
-use ntc::repro::{find, registry, RunCtx};
+use ntc::repro::{find, registry, run_one, RunCtx};
 use ntc_bench::{csv_sections, render_csv, render_text};
+use ntc_obs::Provenance;
 
 /// Output format of `repro run`.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -30,7 +32,8 @@ enum Format {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  repro list\n  repro run <id...>|--all [--format text|csv|json] \
-         [--out <dir>] [--quick] [--seed <n>]\n  repro check <id...>|--all [--quick] [--seed <n>]"
+         [--out <dir>] [--trace <file>] [--metrics <file>] [--quick] [--seed <n>]\n  \
+         repro check <id...>|--all [--quick] [--seed <n>]"
     );
     std::process::exit(2);
 }
@@ -41,6 +44,8 @@ struct Options {
     all: bool,
     format: Format,
     out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
     quick: bool,
     seed: Option<u64>,
 }
@@ -51,6 +56,8 @@ fn parse_options(args: &[String]) -> Options {
         all: false,
         format: Format::Text,
         out: None,
+        trace: None,
+        metrics: None,
         quick: false,
         seed: None,
     };
@@ -69,6 +76,14 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--out" => match it.next() {
                 Some(dir) => opts.out = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--trace" => match it.next() {
+                Some(path) => opts.trace = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--metrics" => match it.next() {
+                Some(path) => opts.metrics = Some(PathBuf::from(path)),
                 None => usage(),
             },
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
@@ -151,16 +166,67 @@ fn cmd_list() -> ExitCode {
 
 fn cmd_run(opts: &Options) -> ExitCode {
     let ctx = context(opts);
+    // Any sink flag (or an --out dir, which gets provenance sidecars)
+    // turns the observability layer on. Artifact bytes are identical
+    // either way: telemetry only ever reaches sidecar files.
+    let observing = opts.trace.is_some() || opts.metrics.is_some() || opts.out.is_some();
+    if observing {
+        ntc_obs::enable();
+    }
+    if let Some(dir) = &opts.out {
+        // Create the output directory (with parents) up front so a
+        // long run never fails at write time.
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create output directory {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+    }
     for e in resolve(opts) {
-        let artifact = e.run(&ctx);
+        let started = Instant::now();
+        let artifact = run_one(e.as_ref(), &ctx);
+        let wall_ns = started.elapsed().as_nanos();
         emit(&artifact, opts.format, opts.out.as_deref());
         if let Some(dir) = &opts.out {
+            let provenance = Provenance {
+                experiment: artifact.id.clone(),
+                seed: ctx.seed(),
+                scale: ctx.scale().name().to_string(),
+                version: ntc_obs::version(),
+                threads: ctx.threads(),
+                wall_ns,
+                metrics: ntc_obs::metrics_snapshot(),
+            };
+            write_file(
+                &dir.join(format!("{}.provenance.json", artifact.id)),
+                &provenance.to_json(),
+            );
             eprintln!("wrote {} ({})", dir.join(artifact.id.as_str()).display(), match opts.format {
                 Format::Text => "text",
                 Format::Csv => "csv",
                 Format::Json => "json",
             });
         }
+    }
+    if observing {
+        // Derive the headline cache gauge from the raw counters so the
+        // metrics snapshot carries it ready-made.
+        let snap = ntc_obs::metrics_snapshot();
+        let hits = snap.counter("memcalc.cache.hit").unwrap_or(0);
+        let misses = snap.counter("memcalc.cache.miss").unwrap_or(0);
+        let total = hits + misses;
+        #[allow(clippy::cast_precision_loss)]
+        ntc_obs::gauge_set(
+            "memcalc.cache.hit_rate",
+            if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+        );
+    }
+    if let Some(path) = &opts.metrics {
+        write_file(path, &ntc_obs::metrics_json(&ntc_obs::metrics_snapshot()));
+        eprintln!("wrote metrics {}", path.display());
+    }
+    if let Some(path) = &opts.trace {
+        write_file(path, &ntc_obs::chrome_trace(&ntc_obs::take_spans()));
+        eprintln!("wrote trace {}", path.display());
     }
     ExitCode::SUCCESS
 }

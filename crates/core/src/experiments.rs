@@ -57,6 +57,15 @@ impl fmt::Display for MitigationPolicy {
     }
 }
 
+/// Dotted-lowercase policy name for `ntc-obs` span names.
+fn policy_slug(policy: MitigationPolicy) -> &'static str {
+    match policy {
+        MitigationPolicy::NoMitigation => "no_mitigation",
+        MitigationPolicy::Secded => "secded",
+        MitigationPolicy::Ocean => "ocean",
+    }
+}
+
 /// Power drawn by one platform module at the operating point.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -422,6 +431,7 @@ pub fn figure8_seeded(seed: u64) -> Vec<ExperimentResult> {
     let solver =
         FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
     par_map_slice(&MitigationPolicy::ALL, |&policy| {
+        let _span = ntc_obs::span(format!("experiments.fig8.{}", policy_slug(policy)));
         let vdd = solver.min_voltage(policy.scheme());
         run_experiment(&ExperimentConfig {
             seed,
@@ -441,6 +451,7 @@ pub fn figure9_seeded(seed: u64) -> Vec<ExperimentResult> {
     let solver =
         FitSolver::new(AccessLaw::commercial_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
     par_map_slice(&MitigationPolicy::ALL, |&policy| {
+        let _span = ntc_obs::span(format!("experiments.fig9.{}", policy_slug(policy)));
         let vdd = solver.min_voltage(policy.scheme());
         run_experiment(&ExperimentConfig {
             seed,

@@ -266,6 +266,9 @@ impl FitSolver {
         frequency_hz: f64,
         f_max: impl Fn(f64) -> f64 + Copy + Sync,
     ) -> [SolvedVoltage; 3] {
+        let mut span = ntc_obs::span("fit.table_row");
+        span.add_items(3);
+        ntc_obs::counter_add("fit.grid.cells", 3);
         let schemes = [Scheme::NoMitigation, Scheme::Secded, Scheme::Ocean];
         let solved = par_map_slice(&schemes, |&s| self.solve(s, frequency_hz, f_max));
         solved.try_into().expect("three schemes in, three out")
@@ -297,6 +300,9 @@ impl FitSolver {
         frequencies: &[f64],
         f_max: impl Fn(f64) -> f64 + Copy + Sync,
     ) -> Vec<[SolvedVoltage; 3]> {
+        let mut span = ntc_obs::span("fit.table");
+        span.add_items(frequencies.len() as u64 * 3);
+        ntc_obs::counter_add("fit.grid.cells", frequencies.len() as u64 * 3);
         let schemes = [Scheme::NoMitigation, Scheme::Secded, Scheme::Ocean];
         let cells = par_map(frequencies.len() * 3, |i| {
             self.solve(schemes[i % 3], frequencies[i / 3], f_max)

@@ -343,6 +343,61 @@ mod tests {
     }
 
     #[test]
+    fn ten_year_drift_stays_in_band_for_less_than_the_static_guardband() {
+        // The headline monitoring claim in one test: over the full
+        // 10-year lifetime the controller (a) keeps the corrected-error
+        // rate it regulates inside its target band, and (b) spends less
+        // total supply adjustment than the static worst-case guardband
+        // a monitor-less design must carry from day one.
+        let a = aging(); // 0.05 V knee drift over 10 years
+        let start = 0.46;
+        let band = (1e-7, 1e-4);
+        let mut c = VoltageController::new(start, band, 0.005, (0.33, 1.1));
+        let trace = simulate_lifetime(&a, &mut c, 500, 2_000_000, 2014);
+        assert!((trace.last().expect("nonempty").years - 10.0).abs() < 0.5);
+
+        // (a) In-band regulation. Individual windows are binomial
+        // samples, so judge the loop the way a control engineer would:
+        // after a settling tenth of life, the mean observed rate sits
+        // inside the band and gross excursions (10x the band top, the
+        // level that forces consecutive corrections) are rare.
+        let settled = &trace[trace.len() / 10..];
+        let mean_rate: f64 =
+            settled.iter().map(|p| p.observed_rate).sum::<f64>() / settled.len() as f64;
+        assert!(
+            mean_rate <= band.1,
+            "mean corrected-error rate {mean_rate:.3e} above band top {:.0e}",
+            band.1
+        );
+        let gross = settled
+            .iter()
+            .filter(|p| p.observed_rate > 10.0 * band.1)
+            .count();
+        assert!(
+            gross < settled.len() / 20,
+            "{gross} of {} settled windows grossly out of band",
+            settled.len()
+        );
+
+        // (b) Net supply travel under the static lifetime guardband.
+        let end = trace.last().expect("nonempty").vdd;
+        assert!(
+            end - start < a.static_guardband_v(),
+            "net adjustment {:.3} V should undercut the {:.3} V static guardband",
+            end - start,
+            a.static_guardband_v()
+        );
+        // And the peak the controller ever commanded also stays below
+        // the static worst-case supply.
+        let peak = trace.iter().map(|p| p.vdd).fold(f64::MIN, f64::max);
+        assert!(
+            peak < start + a.static_guardband_v(),
+            "peak {peak:.3} V reached the static worst case"
+        );
+        assert!(c.adjustments() > 0, "the loop must actually act");
+    }
+
+    #[test]
     fn canary_telemetry_tracks_ageing_with_zero_real_errors() {
         let a = aging();
         // Band: any canary failure (rate ≥ 1/4096) raises the supply; a

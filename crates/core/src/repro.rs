@@ -49,6 +49,16 @@ pub enum Scale {
     Quick,
 }
 
+impl Scale {
+    /// Lowercase name, as recorded in provenance sidecars.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    }
+}
+
 /// Shared context for one batch of experiment runs: the seed, the
 /// Monte-Carlo scale, the memoized platform timing model from the
 /// energy-model cache, and once-per-context memos of the Figure 8/9
@@ -188,10 +198,20 @@ pub fn experiment_ids() -> Vec<&'static str> {
     registry().iter().map(|e| e.id()).collect()
 }
 
+/// Runs one experiment under a `repro.<id>` span.
+///
+/// The span (like every `ntc-obs` hook) is inert unless the
+/// observability layer is enabled, and the artifact never depends on it
+/// either way — artifacts stay pure functions of `(id, seed, scale)`.
+pub fn run_one(e: &dyn Experiment, ctx: &RunCtx) -> Artifact {
+    let _span = ntc_obs::span(format!("repro.{}", e.id()));
+    e.run(ctx)
+}
+
 /// Runs every registered experiment under one context, in registry
 /// order.
 pub fn run_all(ctx: &RunCtx) -> Vec<Artifact> {
-    registry().iter().map(|e| e.run(ctx)).collect()
+    registry().iter().map(|e| run_one(e.as_ref(), ctx)).collect()
 }
 
 // ---------------------------------------------------------------------
@@ -457,6 +477,25 @@ impl Experiment for Fig5 {
             )
             .with_anchor("Eq.5 commercial knee V0", "V", commercial.v0(), PaperRef::exact(0.85))
             .with_anchor("cell-based knee V0", "V", cell.v0(), PaperRef::exact(0.55));
+
+        // Cross-check the cell-based law against the sharded Monte-Carlo
+        // engine: `mc_ber_sweep` routes every voltage point through
+        // `exec::mc_counter`, so the counters are a pure function of
+        // (trials, seed) — bit-identical at any thread count — and common
+        // random numbers keep the estimated curve exactly monotone. Under
+        // `--trace` each point appears as 64 `exec.mc.shard` spans.
+        let mc_grid = voltage_grid(0.30, 0.54, 12);
+        let sweep = cell.mc_ber_sweep(&mc_grid, ctx.mc(200_000), 11);
+        artifact = artifact.with_series(Series::new(
+            "cell-based sharded MC",
+            ("vdd", "V"),
+            ("p_bit", "1"),
+            mc_grid
+                .iter()
+                .zip(&sweep)
+                .map(|(&v, c)| (v, c.hits() as f64 / c.trials() as f64))
+                .collect(),
+        ));
 
         let accesses = ctx.mc(300_000);
         for (name, law, range) in

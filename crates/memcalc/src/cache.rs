@@ -23,7 +23,9 @@
 //!   move. The bisection solver that consumes `f_max` brackets to ~1e-15 V
 //!   internally, but its *output* is snapped to the paper's grid too.
 //!
-//! Hit/miss counters are exposed for benches via [`CachedSoc::stats`].
+//! Hit/miss counters are exposed for benches via [`CachedSoc::stats`],
+//! and mirrored into the `ntc-obs` metrics `memcalc.cache.hit` /
+//! `memcalc.cache.miss` when that layer is enabled.
 
 use crate::soc::SocEnergyModel;
 use std::collections::HashMap;
@@ -121,6 +123,7 @@ impl CachedSoc {
         let (key, v_eval) = Self::quantize(vdd);
         if let Some(&v) = self.memo.lock().expect("cache poisoned").get(&(q, key)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ntc_obs::counter_add("memcalc.cache.hit", 1);
             return v;
         }
         // Evaluate outside the lock: concurrent misses on the same key do
@@ -128,6 +131,7 @@ impl CachedSoc {
         // dequantized voltage), so the table stays consistent.
         let v = eval(&self.model, v_eval);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        ntc_obs::counter_add("memcalc.cache.miss", 1);
         self.memo.lock().expect("cache poisoned").insert((q, key), v);
         v
     }

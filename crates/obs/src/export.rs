@@ -1,0 +1,342 @@
+//! Pluggable sinks: Chrome `trace_event` JSON, JSON-lines events, a
+//! plain-text summary, and a metrics snapshot document.
+//!
+//! All emitters are pure functions of already-collected records, so the
+//! same records always render to the same bytes. JSON is written with
+//! Rust's shortest round-trip `f64` formatting (non-finite values
+//! become `null`), and object keys appear in a fixed order.
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits the decimal point for integral floats; keep JSON
+        // readers that care about number shape happy either way.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for a JSON string literal (without quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64_list(vals: &[f64]) -> String {
+    let items: Vec<String> = vals.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_u64_list(vals: &[u64]) -> String {
+    let items: Vec<String> = vals.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// One complete-event (`"ph":"X"`) object in Chrome `trace_event`
+/// format. `ts`/`dur` are microseconds; the exact nanosecond values
+/// ride along in `args` so tools (and tests) never depend on the µs
+/// rounding.
+fn chrome_event(s: &SpanRecord) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let ts_us = s.start_ns as f64 / 1e3;
+    #[allow(clippy::cast_precision_loss)]
+    let dur_us = s.dur_ns as f64 / 1e3;
+    let mut args = format!("\"start_ns\":{},\"dur_ns\":{}", s.start_ns, s.dur_ns);
+    if let Some(parent) = s.parent {
+        let _ = write!(args, ",\"parent\":{parent}");
+    }
+    if let Some(shard) = s.shard {
+        let _ = write!(args, ",\"shard\":{shard}");
+    }
+    if s.items > 0 {
+        let _ = write!(args, ",\"items\":{}", s.items);
+        if let Some(ips) = s.items_per_sec() {
+            let _ = write!(args, ",\"items_per_sec\":{}", json_f64(ips));
+        }
+    }
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"ntc\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"id\":{},\"args\":{{{}}}}}",
+        json_escape(&s.name),
+        s.thread,
+        json_f64(ts_us),
+        json_f64(dur_us),
+        s.id,
+        args
+    )
+}
+
+/// Renders spans as a Chrome `trace_event` document, loadable in
+/// `chrome://tracing` and Perfetto.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"ntc repro\"}}",
+    );
+    for s in spans {
+        out.push_str(",\n");
+        out.push_str(&chrome_event(s));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn metric_value_json(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter(n) => format!("{{\"type\":\"counter\",\"value\":{n}}}"),
+        MetricValue::Gauge(g) => {
+            format!("{{\"type\":\"gauge\",\"value\":{}}}", json_f64(*g))
+        }
+        MetricValue::Histogram(h) => format!(
+            "{{\"type\":\"histogram\",\"bounds\":{},\"buckets\":{},\"count\":{}}}",
+            json_f64_list(&h.bounds),
+            json_u64_list(&h.buckets),
+            h.count()
+        ),
+    }
+}
+
+/// Renders a metrics snapshot as one JSON object keyed by metric name,
+/// in ascending name order.
+#[must_use]
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in snapshot.entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "  \"{}\": {}", json_escape(name), metric_value_json(value));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders spans and metrics as JSON-lines: one `{"type":"span",...}`
+/// or `{"type":"metric",...}` object per line.
+#[must_use]
+pub fn json_lines(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let _ = write!(
+            out,
+            "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"thread\":{},\"start_ns\":{},\"dur_ns\":{}",
+            json_escape(&s.name),
+            s.id,
+            s.thread,
+            s.start_ns,
+            s.dur_ns
+        );
+        if let Some(parent) = s.parent {
+            let _ = write!(out, ",\"parent\":{parent}");
+        }
+        if let Some(shard) = s.shard {
+            let _ = write!(out, ",\"shard\":{shard}");
+        }
+        if s.items > 0 {
+            let _ = write!(out, ",\"items\":{}", s.items);
+        }
+        out.push_str("}\n");
+    }
+    for (name, value) in &snapshot.entries {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"metric\",\"name\":\"{}\",\"metric\":{}}}",
+            json_escape(name),
+            metric_value_json(value)
+        );
+    }
+    out
+}
+
+/// Per-span-name aggregate used by the text summary.
+struct NameAgg {
+    count: u64,
+    total_ns: u64,
+    items: u64,
+    shards: u64,
+}
+
+/// Renders a human-oriented summary: spans aggregated by name (count,
+/// total/mean time, items/sec) followed by every metric.
+#[must_use]
+pub fn text_summary(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
+    let mut by_name: Vec<(&str, NameAgg)> = Vec::new();
+    for s in spans {
+        let agg = match by_name.iter_mut().find(|(n, _)| *n == s.name) {
+            Some((_, agg)) => agg,
+            None => {
+                by_name.push((
+                    &s.name,
+                    NameAgg { count: 0, total_ns: 0, items: 0, shards: 0 },
+                ));
+                &mut by_name.last_mut().unwrap().1
+            }
+        };
+        agg.count += 1;
+        agg.total_ns += s.dur_ns;
+        agg.items += s.items;
+        agg.shards += u64::from(s.shard.is_some());
+    }
+    by_name.sort_by(|a, b| a.0.cmp(b.0));
+
+    let mut out = String::new();
+    if !by_name.is_empty() {
+        out.push_str("spans\n");
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>7} {:>12} {:>12} {:>14}",
+            "name", "count", "total ms", "mean ms", "items/s"
+        );
+        for (name, agg) in &by_name {
+            #[allow(clippy::cast_precision_loss)]
+            let total_ms = agg.total_ns as f64 / 1e6;
+            #[allow(clippy::cast_precision_loss)]
+            let mean_ms = total_ms / agg.count as f64;
+            #[allow(clippy::cast_precision_loss)]
+            let ips = if agg.items > 0 && agg.total_ns > 0 {
+                format!("{:.3e}", agg.items as f64 / (agg.total_ns as f64 * 1e-9))
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<34} {:>7} {total_ms:>12.3} {mean_ms:>12.3} {ips:>14}",
+                agg.count
+            );
+        }
+    }
+    if !snapshot.entries.is_empty() {
+        out.push_str("metrics\n");
+        for (name, value) in &snapshot.entries {
+            match value {
+                MetricValue::Counter(n) => {
+                    let _ = writeln!(out, "  {name:<42} {n}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "  {name:<42} {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<42} count={} buckets={:?}",
+                        h.count(),
+                        h.buckets
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "exec.par_map".into(),
+                thread: 0,
+                start_ns: 1_000,
+                dur_ns: 9_000,
+                shard: None,
+                items: 0,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "exec.par_map.worker".into(),
+                thread: 1,
+                start_ns: 2_000,
+                dur_ns: 4_000,
+                shard: Some(3),
+                items: 128,
+            },
+        ]
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: vec![
+                ("mc.samples".into(), MetricValue::Counter(4096)),
+                ("memcalc.cache.hit_rate".into(), MetricValue::Gauge(0.998)),
+                (
+                    "shard.ns".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        bounds: vec![1e3, 1e6],
+                        buckets: vec![1, 2, 0],
+                    }),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let t = chrome_trace(&sample_spans());
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.contains("\"ph\":\"X\""));
+        assert!(t.contains("\"shard\":3"));
+        assert!(t.contains("\"parent\":1"));
+        assert!(t.contains("\"items\":128"));
+        // Deterministic for identical input.
+        assert_eq!(t, chrome_trace(&sample_spans()));
+    }
+
+    #[test]
+    fn metrics_json_orders_and_types() {
+        let m = metrics_json(&sample_metrics());
+        let hit = m.find("memcalc.cache.hit_rate").unwrap();
+        let samples = m.find("mc.samples").unwrap();
+        assert!(samples < hit, "name-sorted output");
+        assert!(m.contains("\"type\":\"histogram\""));
+        assert!(m.contains("\"count\":3"));
+    }
+
+    #[test]
+    fn json_lines_one_object_per_line() {
+        let out = json_lines(&sample_spans(), &sample_metrics());
+        assert_eq!(out.lines().count(), 5);
+        for line in out.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn text_summary_aggregates() {
+        let out = text_summary(&sample_spans(), &sample_metrics());
+        assert!(out.contains("exec.par_map.worker"));
+        assert!(out.contains("mc.samples"));
+        assert!(out.contains("4096"));
+    }
+
+    #[test]
+    fn escape_and_nonfinite() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,341 @@
+//! Typed metrics on lock-free `AtomicU64` cells.
+//!
+//! Three instrument kinds:
+//!
+//! * [`Counter`] — monotonically increasing `u64`;
+//! * [`Gauge`] — last-set `f64` (stored as bits);
+//! * [`Histogram`] — fixed upper-bound buckets plus one overflow
+//!   bucket, all `u64` counts.
+//!
+//! Snapshots ([`MetricsSnapshot`]) are plain data sorted by metric
+//! name. [`MetricsSnapshot::merge`] follows the `Mergeable` ordered
+//! merge discipline from `ntc_stats`: counters add, gauges keep the
+//! maximum, histograms add bucket-wise — all integer-exact (gauges use
+//! IEEE max), so merge is associative and commutative and a parallel
+//! run's rendered output does not depend on thread count or merge
+//! order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-written `f64` value. `set` races resolve to one of the written
+/// values; merge keeps the maximum so it is order-independent.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds, and one
+/// extra overflow bucket catches everything above the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Histogram {
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self { bounds: bounds.into(), buckets }
+    }
+
+    /// Records one observation. Bucket `i` counts values `v` with
+    /// `bounds[i-1] < v <= bounds[i]`; the final bucket is overflow.
+    /// NaN lands in the overflow bucket.
+    pub fn record(&self, v: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Plain-data view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, one per non-overflow bucket.
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations across all buckets.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// One metric's value in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time view of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The value of a counter, or `None` if absent or not a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Ordered merge in the `Mergeable` style: the union of both
+    /// snapshots, combining same-name entries — counters add, gauges
+    /// take the IEEE maximum, histograms with equal bounds add
+    /// bucket-wise. A same-name kind mismatch (or histograms with
+    /// different bounds) cannot arise from the typed registry; if
+    /// constructed by hand it resolves by a fixed total order on the
+    /// values (see `combine`), keeping the merge order-independent.
+    #[must_use]
+    pub fn merge(self, other: Self) -> Self {
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut a = self.entries.into_iter().peekable();
+        let mut b = other.entries.into_iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((na, _)), Some((nb, _))) => match na.cmp(nb) {
+                    std::cmp::Ordering::Less => entries.push(a.next().unwrap()),
+                    std::cmp::Ordering::Greater => entries.push(b.next().unwrap()),
+                    std::cmp::Ordering::Equal => {
+                        let (name, va) = a.next().unwrap();
+                        let (_, vb) = b.next().unwrap();
+                        entries.push((name, combine(va, vb)));
+                    }
+                },
+                (Some(_), None) => entries.push(a.next().unwrap()),
+                (None, Some(_)) => entries.push(b.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        Self { entries }
+    }
+}
+
+/// Combines two same-name metric values. Commutative and associative
+/// for same-kind values (and for histograms with equal bounds); a kind
+/// mismatch resolves by a fixed kind order so the result is still
+/// merge-order independent.
+fn combine(a: MetricValue, b: MetricValue) -> MetricValue {
+    use MetricValue::{Counter, Gauge, Histogram};
+    match (a, b) {
+        (Counter(x), Counter(y)) => Counter(x + y),
+        (Gauge(x), Gauge(y)) => Gauge(x.max(y)),
+        (Histogram(x), Histogram(y)) if x.bounds == y.bounds => Histogram(HistogramSnapshot {
+            bounds: x.bounds,
+            buckets: x
+                .buckets
+                .iter()
+                .zip(&y.buckets)
+                .map(|(p, q)| p + q)
+                .collect(),
+        }),
+        // Mismatched kinds or bounds: resolve by a total order on the
+        // values so the winner does not depend on operand order.
+        (x, y) => {
+            if rank(&x) >= rank(&y) {
+                x
+            } else {
+                y
+            }
+        }
+    }
+}
+
+/// Total order used only for mismatch resolution in [`combine`].
+fn rank(v: &MetricValue) -> (u8, u64, u64) {
+    match v {
+        MetricValue::Counter(n) => (2, *n, 0),
+        MetricValue::Gauge(g) => (1, g.to_bits(), 0),
+        MetricValue::Histogram(h) => (0, h.count(), h.bounds.len() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_stores_f64() {
+        let g = Gauge::new();
+        g.set(0.998);
+        assert!((g.get() - 0.998).abs() < 1e-15);
+        g.set(-1.5);
+        assert!((g.get() + 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        // On-boundary values land in the bucket they bound.
+        h.record(1.0);
+        h.record(10.0);
+        h.record(100.0);
+        // Strictly-above values land one bucket later.
+        h.record(1.0000001);
+        h.record(100.5); // overflow
+        h.record(-7.0); // below first bound -> first bucket
+        h.record(f64::NAN); // overflow by convention
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 2, 1, 2]);
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_lookup() {
+        let s = MetricsSnapshot {
+            entries: vec![
+                ("a".into(), MetricValue::Counter(3)),
+                ("b".into(), MetricValue::Gauge(0.5)),
+            ],
+        };
+        assert_eq!(s.counter("a"), Some(3));
+        assert_eq!(s.counter("b"), None);
+        assert!(s.get("c").is_none());
+    }
+
+    #[test]
+    fn merge_combines_by_kind() {
+        let a = MetricsSnapshot {
+            entries: vec![
+                ("c".into(), MetricValue::Counter(2)),
+                ("g".into(), MetricValue::Gauge(1.0)),
+                (
+                    "h".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        bounds: vec![1.0],
+                        buckets: vec![1, 2],
+                    }),
+                ),
+            ],
+        };
+        let b = MetricsSnapshot {
+            entries: vec![
+                ("c".into(), MetricValue::Counter(40)),
+                ("g".into(), MetricValue::Gauge(3.0)),
+                (
+                    "h".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        bounds: vec![1.0],
+                        buckets: vec![4, 8],
+                    }),
+                ),
+                ("z".into(), MetricValue::Counter(1)),
+            ],
+        };
+        let m = a.clone().merge(b.clone());
+        assert_eq!(m.counter("c"), Some(42));
+        assert_eq!(m.get("g"), Some(&MetricValue::Gauge(3.0)));
+        assert_eq!(
+            m.get("h"),
+            Some(&MetricValue::Histogram(HistogramSnapshot {
+                bounds: vec![1.0],
+                buckets: vec![5, 10],
+            }))
+        );
+        assert_eq!(m.counter("z"), Some(1));
+        // Commutativity on this pair.
+        assert_eq!(m, b.merge(a));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the `ntc-obs` metric merge: the ordered merge
+//! must be associative and commutative so a parallel run's rendered
+//! snapshot cannot depend on merge order or thread count.
+
+use ntc_obs::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Builds a snapshot from drawn raw material. Names come from a small
+/// shared pool so merges actually collide; the kind is fixed per name
+/// (as the typed registry guarantees in production).
+fn snapshot(raw: &[u64]) -> MetricsSnapshot {
+    let mut entries: Vec<(String, MetricValue)> = Vec::new();
+    for (i, &v) in raw.iter().enumerate() {
+        let slot = v % 9;
+        let name = format!("m{slot:02}");
+        if entries.iter().any(|(n, _)| *n == name) {
+            continue; // one entry per name within a snapshot
+        }
+        let value = match slot % 3 {
+            0 => MetricValue::Counter(v / 9 + i as u64),
+            #[allow(clippy::cast_precision_loss)]
+            1 => MetricValue::Gauge(((v / 9) % 1000) as f64 / 8.0),
+            _ => MetricValue::Histogram(HistogramSnapshot {
+                bounds: vec![1.0, 8.0, 64.0],
+                buckets: vec![v % 5, (v / 5) % 7, (v / 35) % 3, v % 2],
+            }),
+        };
+        entries.push((name, value));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    MetricsSnapshot { entries }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..12),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..12),
+    ) {
+        let (a, b) = (snapshot(&xs), snapshot(&ys));
+        prop_assert_eq!(a.clone().merge(b.clone()), b.merge(a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..12),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..12),
+        zs in proptest::collection::vec(0u64..1_000_000, 0..12),
+    ) {
+        let (a, b, c) = (snapshot(&xs), snapshot(&ys), snapshot(&zs));
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..12),
+    ) {
+        let a = snapshot(&xs);
+        prop_assert_eq!(a.clone().merge(MetricsSnapshot::default()), a.clone());
+        prop_assert_eq!(MetricsSnapshot::default().merge(a.clone()), a);
+    }
+
+    #[test]
+    fn merge_keeps_entries_sorted(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..12),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..12),
+    ) {
+        let m = snapshot(&xs).merge(snapshot(&ys));
+        let names: Vec<&str> = m.entries.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(names, sorted);
+    }
+}

@@ -180,13 +180,21 @@ impl PhaseCostModel {
     /// Panics if `max_phases == 0`.
     pub fn optimal_phase_count(&self, max_phases: u32) -> u32 {
         assert!(max_phases > 0, "need at least one allowed phase");
-        (1..=max_phases)
-            .min_by(|&a, &b| {
-                self.energy(a)
-                    .partial_cmp(&self.energy(b))
-                    .expect("energies are comparable")
-            })
-            .expect("range is nonempty")
+        let mut span = ntc_obs::span("ocean.optimizer.search");
+        span.add_items(u64::from(max_phases));
+        ntc_obs::counter_add("ocean.optimizer.iterations", u64::from(max_phases));
+        let mut best = (1u32, self.energy(1));
+        for phases in 2..=max_phases {
+            let e = self.energy(phases);
+            // Strict `<` keeps the first of equal minima, matching the
+            // former `min_by` fold; NaN still panics.
+            if e.partial_cmp(&best.1).expect("energies are comparable")
+                == std::cmp::Ordering::Less
+            {
+                best = (phases, e);
+            }
+        }
+        best.0
     }
 
     /// Expected rollbacks over the whole run at the given phase count.

@@ -160,6 +160,28 @@ pub fn profile(
     mem: &mut dyn DataPort,
     max_cycles: u64,
 ) -> Result<Profile, Trap> {
+    let mut span = ntc_obs::span("sim.profile");
+    let result = run(program, mem, max_cycles);
+    if ntc_obs::enabled() {
+        match &result {
+            Ok(out) => {
+                span.add_items(out.instructions);
+                ntc_obs::counter_add("sim.profile.cycles", out.cycles);
+                ntc_obs::counter_add("sim.profile.instructions", out.instructions);
+                ntc_obs::counter_add("sim.profile.loads", out.loads);
+                ntc_obs::counter_add("sim.profile.stores", out.stores);
+                ntc_obs::counter_add("sim.profile.phase_markers", out.phase_markers);
+                for (i, class) in InsnClass::ALL.iter().enumerate() {
+                    ntc_obs::counter_add(&format!("sim.insn.{class}"), out.class_counts[i]);
+                }
+            }
+            Err(_) => ntc_obs::counter_add("sim.profile.traps", 1),
+        }
+    }
+    result
+}
+
+fn run(program: &[u32], mem: &mut dyn DataPort, max_cycles: u64) -> Result<Profile, Trap> {
     let mut core = Core::new();
     let mut out = Profile::default();
     loop {

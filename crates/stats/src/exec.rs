@@ -110,9 +110,14 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let mut outer = ntc_obs::span("exec.par_map");
+    outer.add_items(n as u64);
     if t <= 1 || n == 1 {
         return (0..n).map(f).collect();
     }
+    // Worker threads get their own span stacks; hand them the fan-out
+    // span's id so the trace nests them under it.
+    let parent = outer.id();
     let ranges = chunk_ranges(n, t.min(n));
     let f = &f;
     let mut chunks: Vec<Vec<T>> = Vec::new();
@@ -120,7 +125,13 @@ where
         let handles: Vec<_> = ranges
             .iter()
             .filter(|(lo, hi)| lo < hi)
-            .map(|&(lo, hi)| scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()))
+            .map(|&(lo, hi)| {
+                scope.spawn(move || {
+                    let mut span = ntc_obs::span("exec.par_map.worker").with_parent(parent);
+                    span.add_items((hi - lo) as u64);
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
+            })
             .collect();
         chunks = handles
             .into_iter()
@@ -269,8 +280,11 @@ where
     if trials == 0 {
         return Moments::new();
     }
+    ntc_obs::counter_add("exec.mc.samples", trials);
     par_mergeable(MC_SHARDS.min(trials as usize), |i| {
         let (lo, hi) = shard_bounds(trials, MC_SHARDS.min(trials as usize), i);
+        let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
+        span.add_items(hi - lo);
         let mut src = Source::stream(seed, i as u64);
         let mut m = Moments::new();
         for _ in lo..hi {
@@ -292,8 +306,11 @@ where
     if trials == 0 {
         return TrialCounter::new();
     }
+    ntc_obs::counter_add("exec.mc.samples", trials);
     par_mergeable(MC_SHARDS.min(trials as usize), |i| {
         let (lo, hi) = shard_bounds(trials, MC_SHARDS.min(trials as usize), i);
+        let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
+        span.add_items(hi - lo);
         let mut src = Source::stream(seed, i as u64);
         let mut c = TrialCounter::new();
         for _ in lo..hi {
