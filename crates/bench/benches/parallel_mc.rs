@@ -10,7 +10,8 @@
 use ntc::fit::{paper_platform_cache_stats, paper_platform_f_max, FitSolver, VoltageGrid};
 use ntc_sram::failure::{AccessLaw, RetentionLaw};
 use ntc_sram::{DieMap, DieMapConfig};
-use ntc_stats::exec::{mc_counter, threads};
+use ntc_stats::diag::Convergence;
+use ntc_stats::exec::{mc_counter, mc_counter_shards, threads};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -61,9 +62,21 @@ fn main() {
 
     // Raw Monte-Carlo engine throughput: a rare-event trial batch big
     // enough to keep every shard busy, reported as samples per second.
+    // Measured first with the observability layer off, then again with
+    // it on plus the per-shard convergence diagnostics the repro CLI
+    // publishes — `enable()` is global and irreversible, so order
+    // matters and the plain measurement must come first.
     let mc_trials: u64 = 2_000_000;
     let t_mc = time_median(reps, || mc_counter(mc_trials, 11, |s| s.bernoulli(1e-3)));
     let mc_samples_per_sec = mc_trials as f64 / t_mc;
+
+    ntc_obs::enable();
+    let t_mc_diag = time_median(reps, || {
+        let shards = mc_counter_shards(mc_trials, 11, |s| s.bernoulli(1e-3));
+        Convergence::from_counters(&shards).publish("diag.bench.mc");
+        shards
+    });
+    let diag_samples_per_sec = mc_trials as f64 / t_mc_diag;
 
     let threads = threads();
     let json = format!(
@@ -84,6 +97,10 @@ fn main() {
             "  }},\n",
             "  \"mc_throughput\": {{\n",
             "    \"trials\": {}, \"parallel_ms\": {:.3}, \"samples_per_sec\": {:.0}\n",
+            "  }},\n",
+            "  \"diagnostics_overhead\": {{\n",
+            "    \"trials\": {}, \"parallel_ms\": {:.3}, \"samples_per_sec\": {:.0},\n",
+            "    \"overhead_pct\": {:.2}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -104,6 +121,10 @@ fn main() {
         mc_trials,
         t_mc * 1e3,
         mc_samples_per_sec,
+        mc_trials,
+        t_mc_diag * 1e3,
+        diag_samples_per_sec,
+        (t_mc_diag / t_mc - 1.0) * 100.0,
     );
     print!("{json}");
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_mc.json");

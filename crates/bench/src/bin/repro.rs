@@ -1,23 +1,29 @@
 //! `repro` — the one CLI for every reproduction in the workspace.
 //!
 //! ```text
-//! repro list                                     # all experiment ids
+//! repro list [--verbose]                         # experiment ids (+anchors)
 //! repro run fig8 table2 --format text            # render artifacts
 //! repro run --all --format json --out artifacts/ # machine-readable dump
 //! repro check --all                              # verify paper anchors
+//! repro diff baselines/quick --quick             # regression-diff a baseline
+//! repro report --all --html report.html          # self-contained HTML report
 //! ```
 //!
 //! `run` defaults to full paper-fidelity Monte-Carlo sizes (`--quick`
 //! shrinks them for smoke runs); output is deterministic and
 //! byte-identical across thread counts. `check` exits nonzero when any
-//! artifact misses its paper band.
+//! artifact misses its paper band and ranks every anchor by its margin
+//! to the band edge. `diff` re-runs the experiments found in a previous
+//! `--out` directory and exits nonzero on any drift beyond tolerance.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ntc::artifact::Artifact;
+use ntc::artifact::diff::{diff_artifacts, Tolerance};
+use ntc::artifact::{Artifact, Check};
 use ntc::repro::{find, registry, run_one, RunCtx};
+use ntc_bench::report::{render_report, ReportMeta};
 use ntc_bench::{csv_sections, render_csv, render_text};
 use ntc_obs::Provenance;
 
@@ -31,14 +37,16 @@ enum Format {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  repro list\n  repro run <id...>|--all [--format text|csv|json] \
+        "usage:\n  repro list [--verbose]\n  repro run <id...>|--all [--format text|csv|json] \
          [--out <dir>] [--trace <file>] [--metrics <file>] [--quick] [--seed <n>]\n  \
-         repro check <id...>|--all [--quick] [--seed <n>]"
+         repro check <id...>|--all [--quick] [--seed <n>]\n  \
+         repro diff <baseline-dir> [<id...>] [--rtol <x>] [--quick] [--seed <n>]\n  \
+         repro report <id...>|--all [--html <file>] [--quick] [--seed <n>]"
     );
     std::process::exit(2);
 }
 
-/// Parsed `run`/`check` options.
+/// Parsed options shared by `run`/`check`/`diff`/`report`.
 struct Options {
     ids: Vec<String>,
     all: bool,
@@ -46,11 +54,21 @@ struct Options {
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    html: Option<PathBuf>,
     quick: bool,
     seed: Option<u64>,
+    rtol: Option<f64>,
+    verbose: bool,
 }
 
-fn parse_options(args: &[String]) -> Options {
+/// Whether a subcommand needs an explicit experiment selection.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Selection {
+    Required,
+    Optional,
+}
+
+fn parse_options(args: &[String], selection: Selection) -> Options {
     let mut opts = Options {
         ids: Vec::new(),
         all: false,
@@ -58,14 +76,18 @@ fn parse_options(args: &[String]) -> Options {
         out: None,
         trace: None,
         metrics: None,
+        html: None,
         quick: false,
         seed: None,
+        rtol: None,
+        verbose: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" => opts.all = true,
             "--quick" => opts.quick = true,
+            "--verbose" => opts.verbose = true,
             "--format" => {
                 opts.format = match it.next().map(String::as_str) {
                     Some("text") => Format::Text,
@@ -86,16 +108,27 @@ fn parse_options(args: &[String]) -> Options {
                 Some(path) => opts.metrics = Some(PathBuf::from(path)),
                 None => usage(),
             },
+            "--html" => match it.next() {
+                Some(path) => opts.html = Some(PathBuf::from(path)),
+                None => usage(),
+            },
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(seed) => opts.seed = Some(seed),
                 None => usage(),
+            },
+            "--rtol" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(rtol) if rtol >= 0.0 => opts.rtol = Some(rtol),
+                _ => usage(),
             },
             flag if flag.starts_with('-') => usage(),
             id => opts.ids.push(id.to_string()),
         }
     }
-    if opts.all != opts.ids.is_empty() {
+    if selection == Selection::Required && opts.all != opts.ids.is_empty() {
         // Either explicit ids or --all, not both and not neither.
+        usage();
+    }
+    if selection == Selection::Optional && opts.all && !opts.ids.is_empty() {
         usage();
     }
     opts
@@ -157,9 +190,20 @@ fn emit(artifact: &Artifact, format: Format, out: Option<&Path>) {
     }
 }
 
-fn cmd_list() -> ExitCode {
+fn cmd_list(opts: &Options) -> ExitCode {
+    if !opts.verbose {
+        for e in registry() {
+            println!("{:<22} {}", e.id(), e.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Anchor counts come from an actual (quick-scale) run: the registry
+    // is the single source of truth, so nothing here can go stale.
+    let ctx = RunCtx::quick();
+    println!("{:<22} {:<26} {:>7}  description", "experiment", "paper ref", "anchors");
     for e in registry() {
-        println!("{:<22} {}", e.id(), e.description());
+        let anchors = e.run(&ctx).checks().len();
+        println!("{:<22} {:<26} {:>7}  {}", e.id(), e.paper_ref(), anchors, e.description());
     }
     ExitCode::SUCCESS
 }
@@ -233,32 +277,63 @@ fn cmd_run(opts: &Options) -> ExitCode {
 
 fn cmd_check(opts: &Options) -> ExitCode {
     let ctx = context(opts);
-    let mut total = 0usize;
-    let mut missed = 0usize;
-    println!(
-        "{:<22} {:<52} {:>14} {:>14}   verdict",
-        "experiment", "anchor", "measured", "paper"
-    );
+    let mut checks: Vec<Check> = Vec::new();
     for e in resolve(opts) {
-        let artifact = e.run(&ctx);
-        for check in artifact.checks() {
-            total += 1;
-            let ok = check.passes();
-            if !ok {
-                missed += 1;
-            }
-            println!(
-                "{:<22} {:<52} {:>14.6} {:>14.6}   {} ({})",
-                artifact.id,
-                check.label,
-                check.measured,
-                check.paper.paper,
-                if ok { "ok" } else { "MISS" },
-                check.paper.band,
-            );
-        }
+        checks.extend(e.run(&ctx).checks());
     }
-    println!("\n{} anchors checked, {} missed", total, missed);
+    println!(
+        "{:<22} {:<52} {:>14} {:>14} {:>10}   verdict",
+        "experiment", "anchor", "measured", "paper", "margin"
+    );
+    for check in &checks {
+        println!(
+            "{:<22} {:<52} {:>14.6} {:>14.6} {:>10}   {} ({})",
+            check.artifact,
+            check.label,
+            check.measured,
+            check.paper.paper,
+            check.margin_display(),
+            if !check.passes() {
+                "MISS"
+            } else if check.at_risk() {
+                "ok (AT RISK)"
+            } else {
+                "ok"
+            },
+            check.paper.band,
+        );
+    }
+
+    // Ranked margin table: every finite-margin anchor, closest to its
+    // band edge first, so drift shows up here before it becomes a MISS.
+    let mut ranked: Vec<&Check> = checks.iter().filter(|c| c.margin().is_finite()).collect();
+    ranked.sort_by(|a, b| {
+        a.margin()
+            .partial_cmp(&b.margin())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.artifact.cmp(&b.artifact))
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    println!("\nsmallest margins (distance to band edge, normalized):");
+    for check in ranked.iter().take(10) {
+        println!(
+            "  {:>10}  {:<22} {}{}",
+            check.margin_display(),
+            check.artifact,
+            check.label,
+            if !check.passes() {
+                "  [MISS]"
+            } else if check.at_risk() {
+                "  [AT RISK]"
+            } else {
+                ""
+            },
+        );
+    }
+
+    let missed = checks.iter().filter(|c| !c.passes()).count();
+    let at_risk = checks.iter().filter(|c| c.at_risk()).count();
+    println!("\n{} anchors checked, {} missed, {} at risk", checks.len(), missed, at_risk);
     if missed > 0 {
         ExitCode::FAILURE
     } else {
@@ -266,12 +341,120 @@ fn cmd_check(opts: &Options) -> ExitCode {
     }
 }
 
+/// Loads every artifact JSON in a baseline directory (ignoring
+/// provenance sidecars and non-JSON files), sorted by experiment id.
+fn load_baseline(dir: &Path) -> Vec<Artifact> {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline directory {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    let mut artifacts = Vec::new();
+    for entry in entries {
+        let path = entry.expect("directory entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.ends_with(".json") || name.ends_with(".provenance.json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        match Artifact::from_json(&text) {
+            Ok(artifact) => artifacts.push(artifact),
+            Err(e) => {
+                eprintln!("{} is not an artifact: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if artifacts.is_empty() {
+        eprintln!("no artifact JSON files in {}", dir.display());
+        std::process::exit(2);
+    }
+    artifacts.sort_by(|a, b| a.id.cmp(&b.id));
+    artifacts
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let Some((dir, rest)) = args.split_first() else { usage() };
+    let opts = parse_options(rest, Selection::Optional);
+    let baseline = load_baseline(Path::new(dir));
+    let tol = Tolerance::rel(opts.rtol.unwrap_or(Tolerance::default().rtol));
+    let ctx = context(&opts);
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for old in &baseline {
+        if !opts.ids.is_empty() && !opts.ids.contains(&old.id) {
+            continue;
+        }
+        let Some(e) = find(&old.id) else {
+            println!("[structure] {}: experiment no longer registered", old.id);
+            regressions += 1;
+            continue;
+        };
+        compared += 1;
+        let new = run_one(e.as_ref(), &ctx);
+        let diff = diff_artifacts(old, &new, tol);
+        if diff.is_clean() {
+            println!("{:<22} ok", old.id);
+        } else {
+            println!("{:<22} {} difference(s)", old.id, diff.entries.len());
+            for entry in &diff.entries {
+                println!("  {entry}");
+            }
+            regressions += diff.entries.len();
+        }
+    }
+    if compared == 0 && regressions == 0 {
+        eprintln!("no baseline artifact matched the requested ids");
+        return ExitCode::from(2);
+    }
+    println!(
+        "\n{} artifact(s) compared against {}, {} difference(s) (rtol {})",
+        compared,
+        dir,
+        regressions,
+        tol.rtol
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_report(opts: &Options) -> ExitCode {
+    // The report carries convergence/fit diagnostics, which only exist
+    // while the observability layer is up.
+    ntc_obs::enable();
+    let ctx = context(opts);
+    let artifacts: Vec<Artifact> =
+        resolve(opts).iter().map(|e| run_one(e.as_ref(), &ctx)).collect();
+    let meta = ReportMeta {
+        version: ntc_obs::version(),
+        seed: ctx.seed(),
+        scale: ctx.scale().name().to_string(),
+        threads: ctx.threads(),
+    };
+    let html = render_report(&artifacts, &meta, &ntc_obs::metrics_snapshot());
+    match &opts.html {
+        Some(path) => {
+            write_file(path, &html);
+            eprintln!("wrote report {}", path.display());
+        }
+        None => print!("{html}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("run") => cmd_run(&parse_options(&args[1..])),
-        Some("check") => cmd_check(&parse_options(&args[1..])),
+        Some("list") => cmd_list(&parse_options(&args[1..], Selection::Optional)),
+        Some("run") => cmd_run(&parse_options(&args[1..], Selection::Required)),
+        Some("check") => cmd_check(&parse_options(&args[1..], Selection::Required)),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("report") => cmd_report(&parse_options(&args[1..], Selection::Required)),
         _ => usage(),
     }
 }

@@ -11,10 +11,13 @@
 //!   regressions.
 //!
 //! This crate holds the presentation layer: [`render_text`],
-//! [`csv_sections`] and the small ASCII plotting helpers.
+//! [`csv_sections`], the small ASCII plotting helpers, and the
+//! self-contained HTML report renderer in [`report`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 use ntc::artifact::{Artifact, Cell, Table};
 

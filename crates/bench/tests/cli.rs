@@ -1,0 +1,155 @@
+//! End-to-end tests of the `repro` binary: exit codes and output
+//! contracts of `check`, `diff`, `report` and `list`, driven through
+//! the real executable (`CARGO_BIN_EXE_repro`). Everything runs at
+//! quick scale on the cheap experiments (`fig6`, `table1`) so the whole
+//! suite stays fast.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A fresh per-test scratch directory under the target dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Writes a quick-scale JSON baseline for the given experiments.
+fn write_baseline(dir: &Path, ids: &[&str]) {
+    let mut args = vec!["run"];
+    args.extend_from_slice(ids);
+    let dir_s = dir.to_str().unwrap();
+    args.extend_from_slice(&["--quick", "--format", "json", "--out", dir_s]);
+    let out = repro(&args);
+    assert!(out.status.success(), "baseline run failed: {out:?}");
+}
+
+#[test]
+fn check_prints_margin_for_every_anchor_and_exits_zero() {
+    let out = repro(&["check", "fig6", "table1", "--quick"]);
+    assert!(out.status.success(), "anchors hold at quick scale");
+    let text = stdout(&out);
+    assert!(text.contains("margin"), "margin column header present");
+    assert!(text.contains("smallest margins"), "ranked margin table present");
+    assert!(text.contains("at risk"), "at-risk summary present");
+    // Every verdict line carries a margin value (exact bands say so).
+    let verdicts = text.lines().filter(|l| l.contains(" ok (") || l.contains(" MISS (")).count();
+    assert!(verdicts >= 11, "one verdict per anchor: {text}");
+}
+
+#[test]
+fn diff_is_clean_against_a_fresh_baseline() {
+    let dir = scratch("diff_clean");
+    write_baseline(&dir, &["fig6", "table1"]);
+    let out = repro(&["diff", dir.to_str().unwrap(), "--quick"]);
+    assert!(out.status.success(), "identical rerun must diff clean: {out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("fig6"), "{text}");
+    assert!(text.contains("0 difference(s)"), "{text}");
+}
+
+#[test]
+fn diff_exits_nonzero_on_an_injected_value_regression() {
+    let dir = scratch("diff_value");
+    write_baseline(&dir, &["fig6"]);
+    // Perturb one scalar well beyond the default 1e-6 relative
+    // tolerance: the platform's core energy 25 → 25.1 pJ/cycle.
+    let path = dir.join("fig6.json");
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"value\": 25\n"), "injection target present");
+    std::fs::write(&path, json.replace("\"value\": 25\n", "\"value\": 25.1\n")).unwrap();
+    let out = repro(&["diff", dir.to_str().unwrap(), "--quick"]);
+    assert!(!out.status.success(), "perturbed baseline must fail the diff");
+    let text = stdout(&out);
+    assert!(text.contains("core energy"), "offending scalar named: {text}");
+    assert!(text.contains("[value]"), "numeric drift, not structure: {text}");
+}
+
+#[test]
+fn diff_tolerance_flag_absorbs_the_same_injection() {
+    let dir = scratch("diff_rtol");
+    write_baseline(&dir, &["fig6"]);
+    let path = dir.join("fig6.json");
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, json.replace("\"value\": 25\n", "\"value\": 25.1\n")).unwrap();
+    // 25 → 25.1 is a 0.4% move; rtol 0.01 must accept it.
+    let out = repro(&["diff", dir.to_str().unwrap(), "--quick", "--rtol", "0.01"]);
+    assert!(out.status.success(), "loose tolerance absorbs the drift: {out:?}");
+}
+
+#[test]
+fn diff_reports_structural_drift() {
+    let dir = scratch("diff_structure");
+    write_baseline(&dir, &["fig6"]);
+    let path = dir.join("fig6.json");
+    let json = std::fs::read_to_string(&path).unwrap();
+    // Rename a scalar in the baseline: the current run then misses it.
+    std::fs::write(&path, json.replace("core energy", "core energy (renamed)")).unwrap();
+    let out = repro(&["diff", dir.to_str().unwrap(), "--quick"]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("[structure]"), "{out:?}");
+}
+
+#[test]
+fn diff_skips_provenance_sidecars() {
+    let dir = scratch("diff_provenance");
+    write_baseline(&dir, &["fig6"]);
+    // Provenance sidecars carry wall-clock data and must never be
+    // treated as artifacts — corrupt one and the diff must stay clean.
+    std::fs::write(dir.join("fig6.provenance.json"), "{not json").unwrap();
+    let out = repro(&["diff", dir.to_str().unwrap(), "--quick"]);
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn diff_rejects_an_empty_baseline_dir() {
+    let dir = scratch("diff_empty");
+    let out = repro(&["diff", dir.to_str().unwrap(), "--quick"]);
+    assert_eq!(out.status.code(), Some(2), "usage-style failure: {out:?}");
+}
+
+#[test]
+fn report_writes_self_contained_html() {
+    let dir = scratch("report_html");
+    let path = dir.join("report.html");
+    let out = repro(&["report", "fig6", "table1", "--quick", "--html", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let html = std::fs::read_to_string(&path).unwrap();
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    for needle in ["http://", "https://", "<script src", "<link"] {
+        assert!(!html.contains(needle), "external asset `{needle}` in report");
+    }
+    assert!(html.contains("Paper anchors"), "margin section present");
+    assert!(html.contains("<style>"), "inline styling");
+}
+
+#[test]
+fn list_verbose_shows_paper_refs_and_anchor_counts() {
+    let out = repro(&["list", "--verbose"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Fig. 4 / Eq. 4"), "{text}");
+    assert!(text.contains("Table 2"), "{text}");
+    assert!(text.contains("anchors"), "header present: {text}");
+    // Terse list stays terse.
+    let terse = stdout(&repro(&["list"]));
+    assert!(!terse.contains("anchors"));
+}
+
+#[test]
+fn unknown_experiment_exits_with_usage_code() {
+    let out = repro(&["check", "definitely-not-an-experiment", "--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+}

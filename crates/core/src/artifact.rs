@@ -24,6 +24,7 @@
 
 use std::fmt;
 
+pub mod diff;
 pub mod json;
 
 use json::{JsonError, JsonValue};
@@ -60,6 +61,21 @@ impl Band {
             Band::Range(lo, hi) => measured >= lo && measured <= hi,
             Band::AtLeast(lo) => measured >= lo,
             Band::AtMost(hi) => measured <= hi,
+        }
+    }
+
+    /// The admissible interval `[lo, hi]` around `paper`; one-sided
+    /// bands return ±∞ on their open side.
+    pub fn bounds(&self, paper: f64) -> (f64, f64) {
+        match *self {
+            Band::Abs(tol) => (paper - tol, paper + tol),
+            Band::Rel(tol) => {
+                let half = tol * paper.abs();
+                (paper - half, paper + half)
+            }
+            Band::Range(lo, hi) => (lo, hi),
+            Band::AtLeast(lo) => (lo, f64::INFINITY),
+            Band::AtMost(hi) => (f64::NEG_INFINITY, hi),
         }
     }
 }
@@ -335,9 +351,85 @@ pub struct Check {
 }
 
 impl Check {
+    /// Fraction of a band's width below which a passing anchor is
+    /// reported as at-risk (see [`Check::at_risk`]).
+    pub const AT_RISK_MARGIN: f64 = 0.10;
+
     /// Whether the measured value sits inside the band.
     pub fn passes(&self) -> bool {
         self.paper.holds(self.measured)
+    }
+
+    /// Signed distance from the measured value to the nearest band
+    /// edge, normalized so "how close is this anchor to failing?" is
+    /// comparable across anchors:
+    ///
+    /// * **Two-sided band** (`Abs`, `Rel`, `Range`): distance to the
+    ///   nearer edge divided by band width. Inside the band the value
+    ///   runs from `0` (on an edge) to `0.5` (dead center); outside it
+    ///   is negative. A zero-width band (`PaperRef::exact`) has no
+    ///   interior to normalize by: `+∞` on an exact match, `−∞` on a
+    ///   miss.
+    /// * **One-sided band** (`AtLeast`, `AtMost`): distance to the
+    ///   bound divided by `max(|bound|, |measured|)` (relative
+    ///   headroom; `0.0` when both are zero — sitting exactly on a
+    ///   zero bound).
+    ///
+    /// The sign always agrees with [`Check::passes`]: negative iff the
+    /// anchor misses (up to the `<=` edge convention, where the margin
+    /// is `0` and the check passes).
+    pub fn margin(&self) -> f64 {
+        let (lo, hi) = self.paper.band.bounds(self.paper.paper);
+        let m = self.measured;
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let width = hi - lo;
+                if width == 0.0 {
+                    if self.passes() {
+                        f64::INFINITY
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                } else {
+                    (m - lo).min(hi - m) / width
+                }
+            }
+            (true, false) => one_sided_margin(m - lo, lo, m),
+            (false, true) => one_sided_margin(hi - m, hi, m),
+            (false, false) => f64::INFINITY, // unbounded band: cannot fail
+        }
+    }
+
+    /// Whether this anchor passes but sits within
+    /// [`Check::AT_RISK_MARGIN`] of its band edge — close enough that
+    /// ordinary model drift could push it out.
+    pub fn at_risk(&self) -> bool {
+        let margin = self.margin();
+        self.passes() && margin.is_finite() && margin < Self::AT_RISK_MARGIN
+    }
+
+    /// The margin formatted for tables: `+0.312` / `-0.044`, or `exact`
+    /// for the infinite margins of zero-width bands.
+    pub fn margin_display(&self) -> String {
+        let m = self.margin();
+        if m == f64::INFINITY {
+            "exact".to_string()
+        } else if m == f64::NEG_INFINITY {
+            "exact-miss".to_string()
+        } else {
+            format!("{m:+.3}")
+        }
+    }
+}
+
+/// Normalized one-sided margin: `headroom` (signed distance into the
+/// admissible side) over the larger magnitude of bound and measured.
+fn one_sided_margin(headroom: f64, bound: f64, measured: f64) -> f64 {
+    let scale = bound.abs().max(measured.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        headroom / scale
     }
 }
 
@@ -345,7 +437,7 @@ impl fmt::Display for Check {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<12} {:<44} paper {:>10.4} {:<3} measured {:>10.4} {:<3} ({})  {}",
+            "{:<12} {:<44} paper {:>10.4} {:<3} measured {:>10.4} {:<3} ({})  margin {:>10}  {}",
             self.artifact,
             self.label,
             self.paper.paper,
@@ -353,7 +445,16 @@ impl fmt::Display for Check {
             self.measured,
             self.unit,
             self.paper.band,
-            if self.passes() { "ok" } else { "MISS" }
+            self.margin_display(),
+            if self.passes() {
+                if self.at_risk() {
+                    "ok (AT RISK)"
+                } else {
+                    "ok"
+                }
+            } else {
+                "MISS"
+            }
         )
     }
 }
@@ -817,6 +918,108 @@ mod tests {
         assert!(!a.passed());
         assert_eq!(a.failures().len(), 1);
         assert!(a.failures()[0].to_string().contains("MISS"));
+    }
+
+    fn check_of(measured: f64, paper: PaperRef) -> Check {
+        Check {
+            artifact: "t".into(),
+            label: "x".into(),
+            unit: "".into(),
+            measured,
+            paper,
+        }
+    }
+
+    #[test]
+    fn band_bounds_cover_every_variant() {
+        assert_eq!(Band::Abs(0.1).bounds(1.0), (0.9, 1.1));
+        assert_eq!(Band::Rel(0.1).bounds(-2.0), (-2.2, -1.8));
+        assert_eq!(Band::Range(1.0, 2.0).bounds(5.0), (1.0, 2.0));
+        let (lo, hi) = Band::AtLeast(3.0).bounds(0.0);
+        assert_eq!(lo, 3.0);
+        assert!(hi.is_infinite());
+        let (lo, hi) = Band::AtMost(3.0).bounds(0.0);
+        assert!(lo.is_infinite() && lo < 0.0);
+        assert_eq!(hi, 3.0);
+    }
+
+    #[test]
+    fn margin_two_sided_semantics() {
+        // Dead center of an Abs band: margin 0.5.
+        let c = check_of(1.0, PaperRef::abs(1.0, 0.1));
+        assert!((c.margin() - 0.5).abs() < 1e-12);
+        assert!(!c.at_risk());
+        // 90% of the way to the edge: margin 0.05 -> at risk.
+        let c = check_of(1.09, PaperRef::abs(1.0, 0.1));
+        assert!((c.margin() - 0.05).abs() < 1e-9);
+        assert!(c.passes() && c.at_risk());
+        // Outside: negative margin, agrees with passes().
+        let c = check_of(1.2, PaperRef::abs(1.0, 0.1));
+        assert!(c.margin() < 0.0);
+        assert!(!c.passes() && !c.at_risk());
+        // Range band uses its own edges, not the paper headline.
+        let c = check_of(1.25, PaperRef::range(9.9, 1.0, 2.0));
+        assert!((c.margin() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_exact_band_is_infinite() {
+        let hit = check_of(0.33, PaperRef::exact(0.33));
+        assert_eq!(hit.margin(), f64::INFINITY);
+        assert!(!hit.at_risk(), "exact hit cannot drift gradually");
+        assert_eq!(hit.margin_display(), "exact");
+        let miss = check_of(0.34, PaperRef::exact(0.33));
+        assert_eq!(miss.margin(), f64::NEG_INFINITY);
+        assert_eq!(miss.margin_display(), "exact-miss");
+    }
+
+    #[test]
+    fn margin_one_sided_semantics() {
+        // 20% headroom above an AtLeast bound.
+        let c = check_of(1.0, PaperRef::at_least(1.0, 0.8));
+        assert!((c.margin() - 0.2).abs() < 1e-12);
+        // Just under an AtMost bound: tiny positive margin -> at risk.
+        let c = check_of(0.99, PaperRef::at_most(1.0, 1.0));
+        assert!(c.margin() > 0.0 && c.margin() < 0.10);
+        assert!(c.at_risk());
+        // Violation: negative.
+        let c = check_of(1.5, PaperRef::at_most(1.0, 1.0));
+        assert!(c.margin() < 0.0);
+        // Degenerate zero-on-zero bound.
+        let c = check_of(0.0, PaperRef::at_least(0.0, 0.0));
+        assert_eq!(c.margin(), 0.0);
+        assert!(c.passes());
+    }
+
+    #[test]
+    fn margin_sign_always_agrees_with_passes() {
+        let anchors = [
+            PaperRef::abs(1.0, 0.1),
+            PaperRef::rel(1.0, 0.05),
+            PaperRef::range(1.0, 0.8, 1.3),
+            PaperRef::at_least(1.0, 0.9),
+            PaperRef::at_most(1.0, 1.1),
+        ];
+        for paper in anchors {
+            for i in 0..200 {
+                let measured = 0.5 + f64::from(i) * 0.005;
+                let c = check_of(measured, paper);
+                if c.margin() > 0.0 {
+                    assert!(c.passes(), "{paper:?} at {measured}");
+                }
+                if c.margin() < 0.0 {
+                    assert!(!c.passes(), "{paper:?} at {measured}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_risk_display_marker() {
+        let c = check_of(1.09, PaperRef::abs(1.0, 0.1));
+        assert!(c.to_string().contains("AT RISK"));
+        let ok = check_of(1.0, PaperRef::abs(1.0, 0.1));
+        assert!(!ok.to_string().contains("AT RISK"));
     }
 
     #[test]

@@ -158,6 +158,10 @@ pub trait Experiment: Sync {
     fn id(&self) -> &'static str;
     /// One-line description for `repro list`.
     fn description(&self) -> &'static str;
+    /// Where in the paper the reproduced quantity lives (`"Fig. 4"`,
+    /// `"Table 2"`, …); ablations cite the section their model
+    /// extends. Shown by `repro list --verbose`.
+    fn paper_ref(&self) -> &'static str;
     /// Runs the reproduction and returns its structured artifact.
     fn run(&self, ctx: &RunCtx) -> Artifact;
 }
@@ -224,6 +228,9 @@ struct Fig1;
 impl Experiment for Fig1 {
     fn id(&self) -> &'static str {
         "fig1"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 1"
     }
     fn description(&self) -> &'static str {
         "Energy per cycle vs supply: commercial memory floor vs cell-based single supply"
@@ -305,6 +312,9 @@ impl Experiment for Fig3 {
     fn id(&self) -> &'static str {
         "fig3"
     }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 3"
+    }
     fn description(&self) -> &'static str {
         "Minimal retention voltage vs location: failure maps at stepped supplies"
     }
@@ -361,6 +371,9 @@ impl Experiment for Fig4 {
     fn id(&self) -> &'static str {
         "fig4"
     }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 4 / Eq. 4"
+    }
     fn description(&self) -> &'static str {
         "Retention BER vs supply over 9 dies, with the Eq. 4 Gaussian fit recovered"
     }
@@ -412,6 +425,18 @@ impl Experiment for Fig4 {
                 // p = Φ(√2·(slope·V + b)) ⇒ mean = −b/slope, σ = −1/(√2·slope)
                 let sigma = -1.0 / (std::f64::consts::SQRT_2 * line.slope);
                 let mean = -line.intercept / line.slope;
+                // Fit diagnostics are observability, not results: the
+                // residuals are evaluated in probability space (the same
+                // space the anchors live in) and published as gauges only.
+                if ntc_obs::enabled() {
+                    let predicted: Vec<f64> = vs
+                        .iter()
+                        .map(|&v| ntc_stats::math::phi(std::f64::consts::SQRT_2 * line.predict(v)))
+                        .collect();
+                    if let Ok(q) = ntc_stats::fit::FitQuality::against(&predicted, &ps) {
+                        q.publish(&format!("diag.fig4.{name}.fit"));
+                    }
+                }
                 artifact = artifact
                     .with_anchor(
                         &format!("{name} recovered retention mean"),
@@ -442,6 +467,9 @@ struct Fig5;
 impl Experiment for Fig5 {
     fn id(&self) -> &'static str {
         "fig5"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 5 / Eq. 5"
     }
     fn description(&self) -> &'static str {
         "Access error probability vs supply: Monte-Carlo measurement vs the Eq. 5 law"
@@ -486,6 +514,19 @@ impl Experiment for Fig5 {
         // `--trace` each point appears as 64 `exec.mc.shard` spans.
         let mc_grid = voltage_grid(0.30, 0.54, 12);
         let sweep = cell.mc_ber_sweep(&mc_grid, ctx.mc(200_000), 11);
+        // Convergence diagnostics for the lowest-voltage (highest-rate)
+        // point: `mc_ber_shards` returns the per-shard counters whose
+        // in-order merge is bit-identical to the sweep's own estimate,
+        // so the published standard error / CI describe the estimator
+        // above — not a re-measurement with different randomness.
+        if ntc_obs::enabled() {
+            ntc_stats::diag::Convergence::from_counters(&cell.mc_ber_shards(
+                mc_grid[0],
+                ctx.mc(200_000),
+                11,
+            ))
+            .publish("diag.fig5.mc");
+        }
         artifact = artifact.with_series(Series::new(
             "cell-based sharded MC",
             ("vdd", "V"),
@@ -529,6 +570,12 @@ impl Experiment for Fig5 {
                     model,
                 ));
             if let Ok(fit) = fit_power_law(&vs, &ps, (range.1 + 0.005, range.1 + 0.12)) {
+                if ntc_obs::enabled() {
+                    let predicted: Vec<f64> = vs.iter().map(|&v| fit.predict(v)).collect();
+                    if let Ok(q) = ntc_stats::fit::FitQuality::against(&predicted, &ps) {
+                        q.publish(&format!("diag.fig5.{name}.fit"));
+                    }
+                }
                 artifact = artifact
                     .with_scalar(&format!("{name} re-fit amplitude"), "1", fit.amplitude)
                     .with_scalar(&format!("{name} re-fit exponent"), "1", fit.exponent);
@@ -561,6 +608,9 @@ struct Fig6;
 impl Experiment for Fig6 {
     fn id(&self) -> &'static str {
         "fig6"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 6"
     }
     fn description(&self) -> &'static str {
         "The simulated platform: core, IM, SP, DMA and the OCEAN protected buffer"
@@ -622,6 +672,9 @@ struct Fig7;
 impl Experiment for Fig7 {
     fn id(&self) -> &'static str {
         "fig7"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 7"
     }
     fn description(&self) -> &'static str {
         "OCEAN operation: phases, checkpoints, detections and recoveries at 0.33 V"
@@ -761,6 +814,9 @@ impl Experiment for Fig8 {
     fn id(&self) -> &'static str {
         "fig8"
     }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 8"
+    }
     fn description(&self) -> &'static str {
         "Power at 290 kHz (cell-based memory) under the three mitigation policies"
     }
@@ -791,6 +847,9 @@ struct Fig9;
 impl Experiment for Fig9 {
     fn id(&self) -> &'static str {
         "fig9"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 9"
     }
     fn description(&self) -> &'static str {
         "Power at 11 MHz (commercial memory, 0.88/0.77/0.66 V) under the three policies"
@@ -847,6 +906,9 @@ struct Fig10;
 impl Experiment for Fig10 {
     fn id(&self) -> &'static str {
         "fig10"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 10"
     }
     fn description(&self) -> &'static str {
         "FinFET outlook: inverter delay mean and spread vs supply, 14 nm vs 10 nm"
@@ -930,6 +992,9 @@ impl Experiment for Table1 {
     fn id(&self) -> &'static str {
         "table1"
     }
+    fn paper_ref(&self) -> &'static str {
+        "Table 1"
+    }
     fn description(&self) -> &'static str {
         "The four memory implementations at 1k x 32b: published vs calculator output"
     }
@@ -986,6 +1051,9 @@ struct Table2;
 impl Experiment for Table2 {
     fn id(&self) -> &'static str {
         "table2"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 2"
     }
     fn description(&self) -> &'static str {
         "Minimum supply per mitigation scheme for FIT <= 1e-15, both frequencies"
@@ -1054,6 +1122,9 @@ impl Experiment for HeadlineClaims {
     fn id(&self) -> &'static str {
         "headline"
     }
+    fn paper_ref(&self) -> &'static str {
+        "Abstract"
+    }
     fn description(&self) -> &'static str {
         "The abstract's headline ratios: 2x vs ECC, 3x vs none, 3.3x dynamic power"
     }
@@ -1095,6 +1166,9 @@ struct Profile;
 impl Experiment for Profile {
     fn id(&self) -> &'static str {
         "profile"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§II (workload)"
     }
     fn description(&self) -> &'static str {
         "FFT/FIR instruction mix, memory traffic and the OCEAN phase plan"
@@ -1206,6 +1280,9 @@ impl Experiment for AblationInterleave {
     fn id(&self) -> &'static str {
         "ablation_interleave"
     }
+    fn paper_ref(&self) -> &'static str {
+        "§III-B (beyond paper)"
+    }
     fn description(&self) -> &'static str {
         "Interleave depth of the protected buffer: only 4-way reaches 0.33 V"
     }
@@ -1248,6 +1325,9 @@ struct AblationPhases;
 impl Experiment for AblationPhases {
     fn id(&self) -> &'static str {
         "ablation_phases"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§III-C (beyond paper)"
     }
     fn description(&self) -> &'static str {
         "OCEAN phase-count optimum: the convex energy curve across error rates"
@@ -1293,6 +1373,9 @@ struct AblationCorrelation;
 impl Experiment for AblationCorrelation {
     fn id(&self) -> &'static str {
         "ablation_correlation"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§III-A (beyond paper)"
     }
     fn description(&self) -> &'static str {
         "Correlated failures: clustering raises the worst die and SECDED's voltage"
@@ -1351,6 +1434,9 @@ impl Experiment for AblationGuardband {
     fn id(&self) -> &'static str {
         "ablation_guardband"
     }
+    fn paper_ref(&self) -> &'static str {
+        "§II (beyond paper)"
+    }
     fn description(&self) -> &'static str {
         "Monitoring vs static end-of-life margin: average supply and energy saved"
     }
@@ -1385,6 +1471,9 @@ struct AblationBanking;
 impl Experiment for AblationBanking {
     fn id(&self) -> &'static str {
         "ablation_banking"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§III-B (beyond paper)"
     }
     fn description(&self) -> &'static str {
         "Banking the macro: access energy falls with subdivision until overheads win"
@@ -1453,6 +1542,9 @@ impl Experiment for AblationDetection {
     fn id(&self) -> &'static str {
         "ablation_detection"
     }
+    fn paper_ref(&self) -> &'static str {
+        "§III-C (beyond paper)"
+    }
     fn description(&self) -> &'static str {
         "Parity vs distance-4 detect-only: exact alias counts and silent-error rates"
     }
@@ -1507,6 +1599,9 @@ struct AblationBufferCode;
 impl Experiment for AblationBufferCode {
     fn id(&self) -> &'static str {
         "ablation_buffer_code"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§III-B (beyond paper)"
     }
     fn description(&self) -> &'static str {
         "Interleaved SECDED vs DEC-TED BCH buffers, and the (57,32) quad BCH"

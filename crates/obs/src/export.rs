@@ -107,20 +107,28 @@ fn metric_value_json(v: &MetricValue) -> String {
             format!("{{\"type\":\"gauge\",\"value\":{}}}", json_f64(*g))
         }
         MetricValue::Histogram(h) => format!(
-            "{{\"type\":\"histogram\",\"bounds\":{},\"buckets\":{},\"count\":{}}}",
+            "{{\"type\":\"histogram\",\"bounds\":{},\"buckets\":{},\"count\":{},\"ignored\":{}}}",
             json_f64_list(&h.bounds),
             json_u64_list(&h.buckets),
-            h.count()
+            h.count(),
+            h.ignored
         ),
     }
 }
 
 /// Renders a metrics snapshot as one JSON object keyed by metric name,
 /// in ascending name order.
+///
+/// The registry snapshot is already name-sorted, but the order is
+/// re-established here so the emitted bytes are deterministic for *any*
+/// snapshot — including hand-built or merged ones — and regression
+/// tooling can byte-compare metrics files across runs.
 #[must_use]
 pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
+    let mut entries: Vec<&(String, MetricValue)> = snapshot.entries.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = String::from("{\n");
-    for (i, (name, value)) in snapshot.entries.iter().enumerate() {
+    for (i, (name, value)) in entries.into_iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
@@ -235,12 +243,16 @@ pub fn text_summary(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String 
                     let _ = writeln!(out, "  {name:<42} {g}");
                 }
                 MetricValue::Histogram(h) => {
-                    let _ = writeln!(
+                    let _ = write!(
                         out,
                         "  {name:<42} count={} buckets={:?}",
                         h.count(),
                         h.buckets
                     );
+                    if h.ignored > 0 {
+                        let _ = write!(out, " ignored={}", h.ignored);
+                    }
+                    out.push('\n');
                 }
             }
         }
@@ -279,15 +291,18 @@ mod tests {
     }
 
     fn sample_metrics() -> MetricsSnapshot {
+        // Deliberately NOT name-sorted: the JSON exporter must restore
+        // the order itself.
         MetricsSnapshot {
             entries: vec![
-                ("mc.samples".into(), MetricValue::Counter(4096)),
                 ("memcalc.cache.hit_rate".into(), MetricValue::Gauge(0.998)),
+                ("mc.samples".into(), MetricValue::Counter(4096)),
                 (
                     "shard.ns".into(),
                     MetricValue::Histogram(HistogramSnapshot {
                         bounds: vec![1e3, 1e6],
                         buckets: vec![1, 2, 0],
+                        ignored: 0,
                     }),
                 ),
             ],
@@ -311,9 +326,12 @@ mod tests {
         let m = metrics_json(&sample_metrics());
         let hit = m.find("memcalc.cache.hit_rate").unwrap();
         let samples = m.find("mc.samples").unwrap();
-        assert!(samples < hit, "name-sorted output");
+        assert!(samples < hit, "name-sorted output even from unsorted input");
         assert!(m.contains("\"type\":\"histogram\""));
         assert!(m.contains("\"count\":3"));
+        assert!(m.contains("\"ignored\":0"));
+        // Byte-deterministic for equal snapshots.
+        assert_eq!(m, metrics_json(&sample_metrics()));
     }
 
     #[test]

@@ -70,10 +70,14 @@ impl Gauge {
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds, and one
 /// extra overflow bucket catches everything above the last bound.
+/// Non-finite observations (NaN, ±∞) are not bucketed; they bump a
+/// separate `ignored` counter so bad data is visible but cannot distort
+/// the distribution.
 #[derive(Debug)]
 pub struct Histogram {
     bounds: Box<[f64]>,
     buckets: Box<[AtomicU64]>,
+    ignored: AtomicU64,
 }
 
 impl Histogram {
@@ -87,13 +91,21 @@ impl Histogram {
             "histogram bounds must be strictly increasing"
         );
         let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
-        Self { bounds: bounds.into(), buckets }
+        Self {
+            bounds: bounds.into(),
+            buckets,
+            ignored: AtomicU64::new(0),
+        }
     }
 
     /// Records one observation. Bucket `i` counts values `v` with
     /// `bounds[i-1] < v <= bounds[i]`; the final bucket is overflow.
-    /// NaN lands in the overflow bucket.
+    /// NaN and ±∞ are ignored (counted separately, never bucketed).
     pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.ignored.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let i = self
             .bounds
             .iter()
@@ -112,6 +124,7 @@ impl Histogram {
         HistogramSnapshot {
             bounds: self.bounds.to_vec(),
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            ignored: self.ignored.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +136,8 @@ pub struct HistogramSnapshot {
     pub bounds: Vec<f64>,
     /// `bounds.len() + 1` counts; the last is the overflow bucket.
     pub buckets: Vec<u64>,
+    /// Non-finite observations that were rejected rather than bucketed.
+    pub ignored: u64,
 }
 
 impl HistogramSnapshot {
@@ -216,6 +231,7 @@ fn combine(a: MetricValue, b: MetricValue) -> MetricValue {
                 .zip(&y.buckets)
                 .map(|(p, q)| p + q)
                 .collect(),
+            ignored: x.ignored + y.ignored,
         }),
         // Mismatched kinds or bounds: resolve by a total order on the
         // values so the winner does not depend on operand order.
@@ -262,7 +278,8 @@ mod tests {
     #[test]
     fn histogram_bucket_boundaries_are_inclusive_upper() {
         let h = Histogram::new(&[1.0, 10.0, 100.0]);
-        // On-boundary values land in the bucket they bound.
+        // Values exactly on a bound land in the bucket they bound —
+        // never one later.
         h.record(1.0);
         h.record(10.0);
         h.record(100.0);
@@ -270,10 +287,58 @@ mod tests {
         h.record(1.0000001);
         h.record(100.5); // overflow
         h.record(-7.0); // below first bound -> first bucket
-        h.record(f64::NAN); // overflow by convention
         let s = h.snapshot();
-        assert_eq!(s.buckets, vec![2, 2, 1, 2]);
-        assert_eq!(s.count(), 7);
+        assert_eq!(s.buckets, vec![2, 2, 1, 1]);
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.ignored, 0);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_with_a_counter_bump() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.record(0.5);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        let s = h.snapshot();
+        // No bucket moved; the rejects are accounted for separately.
+        assert_eq!(s.buckets, vec![1, 0, 0]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.ignored, 3);
+    }
+
+    #[test]
+    fn empty_histograms_merge_to_empty() {
+        let a = Histogram::new(&[1.0, 2.0]).snapshot();
+        let b = Histogram::new(&[1.0, 2.0]).snapshot();
+        match combine(MetricValue::Histogram(a), MetricValue::Histogram(b)) {
+            MetricValue::Histogram(m) => {
+                assert_eq!(m.buckets, vec![0, 0, 0]);
+                assert_eq!(m.count(), 0);
+                assert_eq!(m.ignored, 0);
+                assert_eq!(m.bounds, vec![1.0, 2.0]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_merge_adds_ignored_counts() {
+        let ha = Histogram::new(&[1.0]);
+        ha.record(f64::NAN);
+        ha.record(0.5);
+        let hb = Histogram::new(&[1.0]);
+        hb.record(f64::INFINITY);
+        match combine(
+            MetricValue::Histogram(ha.snapshot()),
+            MetricValue::Histogram(hb.snapshot()),
+        ) {
+            MetricValue::Histogram(m) => {
+                assert_eq!(m.buckets, vec![1, 0]);
+                assert_eq!(m.ignored, 2);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]
@@ -306,6 +371,7 @@ mod tests {
                     MetricValue::Histogram(HistogramSnapshot {
                         bounds: vec![1.0],
                         buckets: vec![1, 2],
+                        ignored: 1,
                     }),
                 ),
             ],
@@ -319,6 +385,7 @@ mod tests {
                     MetricValue::Histogram(HistogramSnapshot {
                         bounds: vec![1.0],
                         buckets: vec![4, 8],
+                        ignored: 2,
                     }),
                 ),
                 ("z".into(), MetricValue::Counter(1)),
@@ -332,6 +399,7 @@ mod tests {
             Some(&MetricValue::Histogram(HistogramSnapshot {
                 bounds: vec![1.0],
                 buckets: vec![5, 10],
+                ignored: 3,
             }))
         );
         assert_eq!(m.counter("z"), Some(1));

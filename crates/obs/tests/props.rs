@@ -23,6 +23,7 @@ fn snapshot(raw: &[u64]) -> MetricsSnapshot {
             _ => MetricValue::Histogram(HistogramSnapshot {
                 bounds: vec![1.0, 8.0, 64.0],
                 buckets: vec![v % 5, (v / 5) % 7, (v / 35) % 3, v % 2],
+                ignored: (v / 3) % 4,
             }),
         };
         entries.push((name, value));

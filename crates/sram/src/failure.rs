@@ -24,7 +24,7 @@
 //! [`AccessLaw::cell_based_40nm`] uses constants reverse-engineered from the
 //! paper's Table 2 voltage solutions (see the method docs).
 
-use ntc_stats::exec::mc_counter;
+use ntc_stats::exec::{mc_counter, mc_counter_shards};
 use ntc_stats::math::{inv_phi, ln_phi, phi};
 use ntc_stats::mc::TrialCounter;
 use std::fmt;
@@ -361,6 +361,19 @@ impl AccessLaw {
             .collect()
     }
 
+    /// The per-shard counters behind one [`AccessLaw::mc_ber_sweep`]
+    /// grid point, in shard order.
+    ///
+    /// Merging the returned counters in order reproduces the sweep's
+    /// counter for the same `(vdd, trials, seed)` exactly — identical
+    /// shard layout and random streams — so convergence diagnostics
+    /// computed over these shards describe the sweep's own estimate,
+    /// not a parallel re-measurement.
+    pub fn mc_ber_shards(&self, vdd: f64, trials: u64, seed: u64) -> Vec<TrialCounter> {
+        let p = self.p_bit(vdd);
+        mc_counter_shards(trials, seed, |src| src.uniform() < p)
+    }
+
     /// Returns a copy with the knee shifted by `delta_v` volts — the hook
     /// used to model ageing drift of the minimal access voltage over a
     /// product's lifetime (paper Section IV).
@@ -457,6 +470,19 @@ mod tests {
         // Above the knee the failure probability is exactly zero.
         let safe = acc.mc_ber_sweep(&[acc.v0() + 0.01], 10_000, 5);
         assert_eq!(safe[0].hits(), 0);
+    }
+
+    #[test]
+    fn access_ber_shards_merge_to_the_sweep_point() {
+        let acc = AccessLaw::cell_based_40nm();
+        let vdd = 0.32;
+        let shards = acc.mc_ber_shards(vdd, 100_000, 5);
+        let mut merged = TrialCounter::new();
+        for c in &shards {
+            merged.merge(c);
+        }
+        let sweep = acc.mc_ber_sweep(&[vdd], 100_000, 5);
+        assert_eq!(merged, sweep[0], "shards describe the sweep's estimate");
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Monte-Carlo convergence diagnostics over the fixed 64-shard layout.
+//!
+//! Every sharded Monte-Carlo estimate in this workspace is reduced from
+//! per-shard accumulators ([`TrialCounter`] / [`Moments`]) that merge
+//! exactly (see `exec`). That structure is itself diagnostic material:
+//! the shards are independent, identically-seeded sub-experiments, so
+//! splitting them into two halves gives two independent estimates of
+//! the same quantity. [`Convergence`] condenses that into the numbers a
+//! reviewer of a low-voltage SRAM statistic actually wants:
+//!
+//! * the point estimate with its **standard error** and **95 % CI
+//!   half-width**;
+//! * the **effective sample count** — for a rare-event counter the
+//!   information lives in the hits, not the trials, so a 1e-6 event
+//!   estimated from 1e5 trials reports ~0 effective samples and is
+//!   visibly untrustworthy;
+//! * a **split-half z statistic**: the even-indexed and odd-indexed
+//!   shards are merged separately and their estimates compared in units
+//!   of their combined standard error. `|z|` beyond ~3 means the two
+//!   halves disagree more than sampling noise allows — a seeding or
+//!   merge bug, not statistical fluctuation.
+//!
+//! Diagnostics are *observability*, not results: experiments publish
+//! them through the `ntc-obs` gauge registry ([`Convergence::publish`])
+//! so they land in metrics sidecars and `repro report`, never in
+//! artifact JSON — artifact bytes are identical whether diagnostics run
+//! or not.
+
+use crate::mc::{z_for_confidence, Moments, TrialCounter};
+
+/// Convergence summary of a sharded Monte-Carlo estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Convergence {
+    /// Number of shards the estimate was reduced from.
+    pub shards: usize,
+    /// Total samples across all shards.
+    pub samples: u64,
+    /// The merged point estimate (event rate or mean).
+    pub estimate: f64,
+    /// Standard error of the merged estimate.
+    pub std_error: f64,
+    /// Half-width of the 95 % confidence interval.
+    pub ci95_half_width: f64,
+    /// Effective sample count: hits for a rare-event counter (the
+    /// trials that carried information), the full count for moments.
+    pub effective_samples: u64,
+    /// Split-half z statistic: the even-shard and odd-shard estimates'
+    /// difference in units of their combined standard error. `0.0` when
+    /// either half is empty or has zero variance.
+    pub split_half_z: f64,
+}
+
+impl Convergence {
+    /// Diagnoses a rare-event estimate from its per-shard counters (in
+    /// shard order, as returned by `exec::mc_counter_shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    #[must_use]
+    pub fn from_counters(shards: &[TrialCounter]) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let mut all = TrialCounter::new();
+        let mut even = TrialCounter::new();
+        let mut odd = TrialCounter::new();
+        for (i, c) in shards.iter().enumerate() {
+            all.merge(c);
+            if i % 2 == 0 {
+                even.merge(c);
+            } else {
+                odd.merge(c);
+            }
+        }
+        let z95 = z_for_confidence(0.95);
+        let (lo, hi) = all.wilson_interval(z95);
+        Self {
+            shards: shards.len(),
+            samples: all.trials(),
+            estimate: all.estimate(),
+            std_error: all.std_error(),
+            ci95_half_width: 0.5 * (hi - lo),
+            effective_samples: all.hits(),
+            split_half_z: split_z(
+                even.estimate(),
+                even.std_error(),
+                odd.estimate(),
+                odd.std_error(),
+            ),
+        }
+    }
+
+    /// Diagnoses a mean estimate from its per-shard moment accumulators
+    /// (in shard order, as returned by `exec::mc_moments_shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    #[must_use]
+    pub fn from_moments(shards: &[Moments]) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let mut all = Moments::new();
+        let mut even = Moments::new();
+        let mut odd = Moments::new();
+        for (i, m) in shards.iter().enumerate() {
+            all.merge(m);
+            if i % 2 == 0 {
+                even.merge(m);
+            } else {
+                odd.merge(m);
+            }
+        }
+        let se = all.std_error();
+        Self {
+            shards: shards.len(),
+            samples: all.count(),
+            estimate: all.mean(),
+            std_error: se,
+            ci95_half_width: z_for_confidence(0.95) * se,
+            effective_samples: all.count(),
+            split_half_z: split_z(even.mean(), even.std_error(), odd.mean(), odd.std_error()),
+        }
+    }
+
+    /// Relative half-width of the 95 % CI (`ci95 / |estimate|`);
+    /// `f64::INFINITY` when the estimate is zero but the CI is not.
+    #[must_use]
+    pub fn relative_ci(&self) -> f64 {
+        if self.estimate != 0.0 {
+            self.ci95_half_width / self.estimate.abs()
+        } else if self.ci95_half_width == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the split-half check passes at the given z limit
+    /// (`3.0` is a sensible default: ~0.3 % false-alarm rate).
+    #[must_use]
+    pub fn split_half_ok(&self, z_limit: f64) -> bool {
+        self.split_half_z.abs() <= z_limit
+    }
+
+    /// Publishes this report as `ntc-obs` gauges under `prefix`
+    /// (`<prefix>.estimate`, `.std_error`, `.ci95`, `.rel_ci`,
+    /// `.effective_samples`, `.split_half_z`). No-op while the
+    /// observability layer is disabled; never touches artifacts.
+    pub fn publish(&self, prefix: &str) {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            ntc_obs::gauge_set(&format!("{prefix}.estimate"), self.estimate);
+            ntc_obs::gauge_set(&format!("{prefix}.std_error"), self.std_error);
+            ntc_obs::gauge_set(&format!("{prefix}.ci95"), self.ci95_half_width);
+            ntc_obs::gauge_set(&format!("{prefix}.rel_ci"), self.relative_ci());
+            ntc_obs::gauge_set(
+                &format!("{prefix}.effective_samples"),
+                self.effective_samples as f64,
+            );
+            ntc_obs::gauge_set(&format!("{prefix}.split_half_z"), self.split_half_z);
+        }
+    }
+}
+
+/// z statistic between two independent estimates; `0.0` when the
+/// combined standard error vanishes (degenerate halves carry no
+/// disagreement evidence).
+fn split_z(a: f64, se_a: f64, b: f64, se_b: f64) -> f64 {
+    let combined = (se_a * se_a + se_b * se_b).sqrt();
+    if combined > 0.0 {
+        (a - b) / combined
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{mc_counter, mc_counter_shards, mc_moments_shards};
+
+    #[test]
+    fn counter_diagnostics_match_merged_counter() {
+        let trials = 200_000u64;
+        let shards = mc_counter_shards(trials, 11, |s| s.bernoulli(0.01));
+        let d = Convergence::from_counters(&shards);
+        let merged = mc_counter(trials, 11, |s| s.bernoulli(0.01));
+        assert_eq!(d.samples, trials);
+        assert_eq!(d.effective_samples, merged.hits());
+        assert!((d.estimate - merged.estimate()).abs() < 1e-15);
+        assert!(d.std_error > 0.0 && d.std_error < 1e-3);
+        assert!(d.ci95_half_width > d.std_error, "CI wider than one SE");
+        assert!(d.split_half_ok(4.0), "split-half z = {}", d.split_half_z);
+    }
+
+    #[test]
+    fn moments_diagnostics_converge() {
+        let shards = mc_moments_shards(100_000, 7, |s| s.standard_normal());
+        let d = Convergence::from_moments(&shards);
+        assert_eq!(d.samples, 100_000);
+        assert_eq!(d.effective_samples, 100_000);
+        assert!(d.estimate.abs() < 0.02);
+        assert!((d.std_error - 1.0 / (100_000f64).sqrt()).abs() < 5e-4);
+        assert!(d.split_half_ok(4.0));
+    }
+
+    #[test]
+    fn split_half_detects_seed_disagreement() {
+        // Construct two halves that measure genuinely different rates:
+        // even shards at p=0.01, odd shards at p=0.05. The split-half z
+        // must flag it while each half on its own looks converged.
+        let mut shards = Vec::new();
+        for i in 0..64u64 {
+            let mut c = TrialCounter::new();
+            let p = if i % 2 == 0 { 0.01 } else { 0.05 };
+            let hits = (10_000f64 * p) as u64;
+            c.record_batch(10_000, hits);
+            shards.push(c);
+        }
+        let d = Convergence::from_counters(&shards);
+        assert!(!d.split_half_ok(3.0), "z = {}", d.split_half_z);
+    }
+
+    #[test]
+    fn zero_hit_estimate_reports_infinite_relative_ci() {
+        let mut c = TrialCounter::new();
+        c.record_batch(1000, 0);
+        let d = Convergence::from_counters(&[c]);
+        assert_eq!(d.estimate, 0.0);
+        assert_eq!(d.effective_samples, 0);
+        assert!(d.relative_ci().is_infinite());
+        assert_eq!(d.split_half_z, 0.0, "single shard: no disagreement evidence");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_shards_rejected() {
+        let _ = Convergence::from_counters(&[]);
+    }
+
+    #[test]
+    fn publish_registers_gauges_when_enabled() {
+        ntc_obs::enable();
+        let mut c = TrialCounter::new();
+        c.record_batch(1000, 10);
+        Convergence::from_counters(&[c]).publish("diag_test.mc");
+        let snap = ntc_obs::metrics_snapshot();
+        match snap.get("diag_test.mc.estimate") {
+            Some(ntc_obs::MetricValue::Gauge(g)) => assert!((g - 0.01).abs() < 1e-12),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        assert!(snap.get("diag_test.mc.split_half_z").is_some());
+        assert!(snap.get("diag_test.mc.effective_samples").is_some());
+    }
+}

@@ -320,6 +320,64 @@ where
     })
 }
 
+/// Like [`mc_moments`] but returns the **per-shard** accumulators in
+/// shard order instead of the merged result.
+///
+/// Merging the returned vector left-to-right into an empty [`Moments`]
+/// yields exactly (bit-for-bit) what [`mc_moments`] returns for the
+/// same `(trials, seed, sample)` — the shard layout and random streams
+/// are identical; only the final fold is left to the caller. Intended
+/// for convergence diagnostics ([`crate::diag::Convergence`]) that need
+/// the shard structure, not just the reduction.
+pub fn mc_moments_shards<F>(trials: u64, seed: u64, sample: F) -> Vec<Moments>
+where
+    F: Fn(&mut Source) -> f64 + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    ntc_obs::counter_add("exec.mc.samples", trials);
+    let shards = MC_SHARDS.min(trials as usize);
+    par_map(shards, |i| {
+        let (lo, hi) = shard_bounds(trials, shards, i);
+        let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
+        span.add_items(hi - lo);
+        let mut src = Source::stream(seed, i as u64);
+        let mut m = Moments::new();
+        for _ in lo..hi {
+            m.push(sample(&mut src));
+        }
+        m
+    })
+}
+
+/// Like [`mc_counter`] but returns the **per-shard** counters in shard
+/// order instead of the merged result.
+///
+/// Same contract as [`mc_moments_shards`]: an in-order merge of the
+/// returned counters equals [`mc_counter`]'s result exactly.
+pub fn mc_counter_shards<F>(trials: u64, seed: u64, event: F) -> Vec<TrialCounter>
+where
+    F: Fn(&mut Source) -> bool + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    ntc_obs::counter_add("exec.mc.samples", trials);
+    let shards = MC_SHARDS.min(trials as usize);
+    par_map(shards, |i| {
+        let (lo, hi) = shard_bounds(trials, shards, i);
+        let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
+        span.add_items(hi - lo);
+        let mut src = Source::stream(seed, i as u64);
+        let mut c = TrialCounter::new();
+        for _ in lo..hi {
+            c.record(event(&mut src));
+        }
+        c
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +495,34 @@ mod tests {
         assert_eq!(mc_moments(3, 1, |s| s.uniform()).count(), 3);
         assert_eq!(mc_counter(0, 1, |s| s.bernoulli(0.5)).trials(), 0);
         assert_eq!(mc_counter(5, 1, |s| s.bernoulli(0.5)).trials(), 5);
+    }
+
+    #[test]
+    fn shard_helpers_merge_to_the_merged_helpers_bit_for_bit() {
+        let trials = 20_000u64;
+        let seed = 31u64;
+        let shards_c = mc_counter_shards(trials, seed, |s| s.bernoulli(0.02));
+        assert_eq!(shards_c.len(), MC_SHARDS);
+        let mut folded = TrialCounter::new();
+        for c in &shards_c {
+            folded.merge(c);
+        }
+        let merged = mc_counter(trials, seed, |s| s.bernoulli(0.02));
+        assert_eq!(folded, merged);
+
+        let shards_m = mc_moments_shards(trials, seed, |s| s.standard_normal());
+        assert_eq!(shards_m.len(), MC_SHARDS);
+        let mut fm = Moments::new();
+        for m in &shards_m {
+            fm.merge(m);
+        }
+        let mm = mc_moments(trials, seed, |s| s.standard_normal());
+        assert_eq!(fm.count(), mm.count());
+        assert_eq!(fm.mean().to_bits(), mm.mean().to_bits());
+        assert_eq!(fm.std_dev().to_bits(), mm.std_dev().to_bits());
+
+        assert!(mc_counter_shards(0, 1, |s| s.bernoulli(0.5)).is_empty());
+        assert!(mc_moments_shards(0, 1, |s| s.uniform()).is_empty());
     }
 
     #[test]

@@ -296,10 +296,137 @@ pub fn fit_power_law(v: &[f64], p: &[f64], v0_range: (f64, f64)) -> Result<Power
     })
 }
 
+/// Goodness-of-fit summary of a fitted model against measured points.
+///
+/// Computed in whatever domain the comparison is meaningful in — the
+/// probability domain for BER fits, log domain for power laws — by
+/// handing [`FitQuality::against`] the model's predictions next to the
+/// measurements. Published as `diag.*` gauges by the experiments so a
+/// drifting Eq. 4 / Eq. 5 fit is visible in `repro report` without
+/// touching artifact bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FitQuality {
+    /// Number of points compared.
+    pub n: usize,
+    /// Coefficient of determination (1 − RSS/TSS); `1.0` when the data
+    /// has no variance and the fit matches it exactly.
+    pub r_squared: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Largest absolute residual.
+    pub max_abs_residual: f64,
+}
+
+impl FitQuality {
+    /// Compares model predictions with measurements, pairwise.
+    ///
+    /// Non-finite pairs are skipped (saturated measurements carry no
+    /// residual information, mirroring [`probit_line_fit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if the slices differ in length or no finite
+    /// pair remains.
+    pub fn against(predicted: &[f64], measured: &[f64]) -> Result<Self, FitError> {
+        if predicted.len() != measured.len() {
+            return Err(FitError::new("predicted and measured must have the same length"));
+        }
+        let pairs: Vec<(f64, f64)> = predicted
+            .iter()
+            .zip(measured)
+            .filter(|&(&p, &m)| p.is_finite() && m.is_finite())
+            .map(|(&p, &m)| (p, m))
+            .collect();
+        if pairs.is_empty() {
+            return Err(FitError::new("no finite (predicted, measured) pairs"));
+        }
+        let n = pairs.len();
+        let mean_m = pairs.iter().map(|&(_, m)| m).sum::<f64>() / n as f64;
+        let mut rss = 0.0;
+        let mut tss = 0.0;
+        let mut max_abs = 0.0f64;
+        for &(p, m) in &pairs {
+            let r = m - p;
+            rss += r * r;
+            max_abs = max_abs.max(r.abs());
+            let d = m - mean_m;
+            tss += d * d;
+        }
+        let r_squared = if tss == 0.0 {
+            if rss == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - rss / tss
+        };
+        Ok(Self {
+            n,
+            r_squared,
+            rss,
+            max_abs_residual: max_abs,
+        })
+    }
+
+    /// Publishes this summary as `ntc-obs` gauges under `prefix`
+    /// (`<prefix>.r_squared`, `.rss`, `.max_abs_residual`, `.points`).
+    /// No-op while the observability layer is disabled.
+    pub fn publish(&self, prefix: &str) {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            ntc_obs::gauge_set(&format!("{prefix}.r_squared"), self.r_squared);
+            ntc_obs::gauge_set(&format!("{prefix}.rss"), self.rss);
+            ntc_obs::gauge_set(&format!("{prefix}.max_abs_residual"), self.max_abs_residual);
+            ntc_obs::gauge_set(&format!("{prefix}.points"), self.n as f64);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::math::phi;
+
+    #[test]
+    fn fit_quality_perfect_fit() {
+        let m = [1.0, 2.0, 3.0, 4.0];
+        let q = FitQuality::against(&m, &m).unwrap();
+        assert_eq!(q.n, 4);
+        assert_eq!(q.r_squared, 1.0);
+        assert_eq!(q.rss, 0.0);
+        assert_eq!(q.max_abs_residual, 0.0);
+    }
+
+    #[test]
+    fn fit_quality_residuals_reported() {
+        let predicted = [1.0, 2.0, 3.0];
+        let measured = [1.1, 1.9, 3.3];
+        let q = FitQuality::against(&predicted, &measured).unwrap();
+        assert!((q.max_abs_residual - 0.3).abs() < 1e-12);
+        assert!((q.rss - (0.01 + 0.01 + 0.09)).abs() < 1e-12);
+        assert!(q.r_squared > 0.9 && q.r_squared < 1.0);
+    }
+
+    #[test]
+    fn fit_quality_skips_non_finite_pairs() {
+        let predicted = [1.0, f64::NAN, 3.0];
+        let measured = [1.0, 2.0, f64::INFINITY];
+        let q = FitQuality::against(&predicted, &measured).unwrap();
+        assert_eq!(q.n, 1);
+        assert!(FitQuality::against(&[f64::NAN], &[1.0]).is_err());
+        assert!(FitQuality::against(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn fit_quality_flat_measurements() {
+        // Zero data variance: R² is 1 only if the fit is also exact.
+        let exact = FitQuality::against(&[5.0, 5.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(exact.r_squared, 1.0);
+        let off = FitQuality::against(&[5.0, 6.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(off.r_squared, 0.0);
+    }
 
     #[test]
     fn linear_fit_exact_line() {

@@ -19,6 +19,9 @@
 //!   law (Eq. 5).
 //! * [`mc`] — Monte-Carlo bookkeeping: streaming mean/variance, rare-event
 //!   counters, percentiles.
+//! * [`diag`] — convergence diagnostics over the sharded Monte-Carlo
+//!   layout (standard error, CI half-width, split-half check) published
+//!   through `ntc-obs` gauges.
 //! * [`hist`] — fixed-bin histograms with terminal rendering for the
 //!   figure binaries.
 //! * [`sweep`] — voltage sweep helpers (`linspace`, `logspace`).
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod dist;
 pub mod exec;
 pub mod fit;

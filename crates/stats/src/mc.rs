@@ -79,6 +79,16 @@ impl Moments {
         self.variance().sqrt()
     }
 
+    /// Standard error of the mean (`s/√n`); `0.0` with fewer than two
+    /// samples.
+    pub fn std_error(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
     /// Smallest sample seen; `+∞` when empty.
     pub fn min(&self) -> f64 {
         self.min
@@ -182,6 +192,17 @@ impl TrialCounter {
             0.0
         } else {
             self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// Standard error of the rate estimate (`√(p(1−p)/n)`); `0.0` when
+    /// no trials.
+    pub fn std_error(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            let p = self.estimate();
+            (p * (1.0 - p) / self.trials as f64).sqrt()
         }
     }
 
@@ -318,6 +339,19 @@ mod tests {
         let (lo, hi) = c.wilson_interval(1.96);
         assert!(lo > 0.0 && lo < 0.01);
         assert!(hi > 0.01 && hi < 0.03);
+    }
+
+    #[test]
+    fn std_errors_scale_with_sample_count() {
+        let mut c = TrialCounter::new();
+        c.record_batch(10_000, 100);
+        // √(0.01·0.99/1e4) ≈ 9.95e-4
+        assert!((c.std_error() - 9.9498743710662e-4).abs() < 1e-12);
+        assert_eq!(TrialCounter::new().std_error(), 0.0);
+
+        let m: Moments = (0..100).map(|i| f64::from(i % 10)).collect();
+        assert!((m.std_error() - m.std_dev() / 10.0).abs() < 1e-15);
+        assert_eq!(Moments::new().std_error(), 0.0);
     }
 
     #[test]

@@ -173,7 +173,9 @@ fn artifacts_are_byte_identical_with_instrumentation_on() {
     // (Thread-count invariance is covered by the exec suite; this is
     // the instrumentation half of the contract.)
     let ctx = RunCtx::quick();
-    for id in ["table2", "fig5", "ablation_phases"] {
+    // fig4 and fig5 publish `diag.*` convergence/fit gauges when the
+    // layer is on — their artifact bytes especially must not move.
+    for id in ["table2", "fig4", "fig5", "ablation_phases"] {
         let e = find(id).expect("registered");
         let baseline = e.run(&ctx).to_json();
         ntc_obs::enable();
@@ -181,6 +183,52 @@ fn artifacts_are_byte_identical_with_instrumentation_on() {
         let traced = run_one(find(id).expect("registered").as_ref(), &ctx2).to_json();
         assert_eq!(baseline, traced, "{id} artifact changed under tracing");
     }
+}
+
+#[test]
+fn metrics_json_is_byte_identical_across_thread_counts() {
+    // `exec::threads()` is resolved once per process, so NTC_THREADS
+    // itself cannot vary inside one test binary; `par_map_with_threads`
+    // pins the worker count explicitly, which is the same code path the
+    // env var selects. Each thread count writes under its own metric
+    // prefix (the registry is process-global); re-labeling the entries
+    // to a common namespace and rendering them must produce the same
+    // bytes for 1, 4, and 8 threads.
+    ntc_obs::enable();
+    let render = |t: usize| -> String {
+        let prefix = format!("det_test.t{t}");
+        let produced = par_map_with_threads(64, t, |i| {
+            ntc_obs::counter_add(&format!("{prefix}.samples"), i as u64 + 1);
+            ntc_obs::histogram_record(
+                &format!("{prefix}.value"),
+                &[0.25, 0.5, 0.75],
+                i as f64 / 64.0,
+            );
+            i
+        });
+        // One non-finite observation: the ignored count must survive
+        // the export identically too.
+        ntc_obs::histogram_record(&format!("{prefix}.value"), &[0.25, 0.5, 0.75], f64::NAN);
+        let total: usize = produced.iter().sum();
+        ntc_obs::gauge_set(&format!("{prefix}.total"), total as f64);
+        let snap = ntc_obs::metrics_snapshot();
+        let relabeled = ntc_obs::MetricsSnapshot {
+            entries: snap
+                .entries
+                .into_iter()
+                .filter_map(|(name, v)| {
+                    name.strip_prefix(&format!("{prefix}."))
+                        .map(|suffix| (format!("det_test.{suffix}"), v))
+                })
+                .collect(),
+        };
+        assert_eq!(relabeled.entries.len(), 3, "all three instruments present");
+        ntc_obs::metrics_json(&relabeled)
+    };
+    let one = render(1);
+    assert_eq!(one, render(4), "4 threads drifted from serial");
+    assert_eq!(one, render(8), "8 threads drifted from serial");
+    assert!(one.contains("\"ignored\":1"));
 }
 
 #[test]
