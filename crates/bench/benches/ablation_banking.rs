@@ -5,7 +5,7 @@
 //! and times the calculator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_bench::render_text;
 use ntc_memcalc::instance::{MemoryMacro, MemoryOrganization};
 use ntc_sram::styles::CellStyle;
@@ -22,7 +22,7 @@ fn macro_with(banks: u32) -> MemoryMacro {
 }
 
 fn bench(c: &mut Criterion) {
-    let artifact = find("ablation_banking").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::AblationBanking).run(&RunCtx::quick());
     print!("{}", render_text(&artifact));
     assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 

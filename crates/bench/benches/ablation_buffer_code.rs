@@ -8,14 +8,14 @@
 //! and times the decoders.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_bench::render_text;
 use ntc_ecc::bch::BchDecTed;
 use ntc_ecc::interleave::InterleavedCode;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let artifact = find("ablation_buffer_code").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::AblationBufferCode).run(&RunCtx::quick());
     print!("{}", render_text(&artifact));
     assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 

@@ -5,7 +5,7 @@
 //! experiment; this bench gates on it and times the die synthesis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_bench::render_text;
 use ntc_sram::diemap::{DieMap, DieMapConfig};
 use ntc_sram::failure::RetentionLaw;
@@ -21,7 +21,7 @@ fn worst_supply(systematic: f64, seed: u64) -> f64 {
 }
 
 fn bench(c: &mut Criterion) {
-    let artifact = find("ablation_correlation").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::AblationCorrelation).run(&RunCtx::quick());
     print!("{}", render_text(&artifact));
     assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 

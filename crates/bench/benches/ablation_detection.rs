@@ -6,14 +6,14 @@
 //! times the decoders.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_bench::render_text;
 use ntc_ecc::parity::Parity;
 use ntc_ecc::secded::Secded;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let artifact = find("ablation_detection").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::AblationDetection).run(&RunCtx::quick());
     print!("{}", render_text(&artifact));
     assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 

@@ -6,13 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ntc::monitor::{simulate_lifetime, AgingModel, VoltageController};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_bench::render_text;
 use ntc_sram::failure::AccessLaw;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let artifact = find("ablation_guardband").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::AblationGuardband).run(&RunCtx::quick());
     print!("{}", render_text(&artifact));
     assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 

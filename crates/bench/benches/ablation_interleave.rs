@@ -5,13 +5,13 @@
 //! bench gates on it and times the codec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_bench::render_text;
 use ntc_ecc::interleave::InterleavedCode;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let artifact = find("ablation_interleave").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::AblationInterleave).run(&RunCtx::quick());
     print!("{}", render_text(&artifact));
     assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 

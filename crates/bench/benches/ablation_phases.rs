@@ -3,13 +3,13 @@
 //! experiment; this bench gates on it and times the optimizer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_bench::render_text;
 use ntc_ocean::PhaseCostModel;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let artifact = find("ablation_phases").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::AblationPhases).run(&RunCtx::quick());
     print!("{}", render_text(&artifact));
     assert!(artifact.passed(), "anchors drifted: {:?}", artifact.failures());
 

@@ -3,7 +3,7 @@
 //! through the experiment registry, where the paper anchors live.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_stats::rng::Source;
 use ntc_stats::sweep::voltage_grid;
 use ntc_tech::card;
@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     // Gate before timing: the speedup/spread anchors must be in band.
-    let artifact = find("fig10").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::Fig10).run(&RunCtx::quick());
     assert!(artifact.passed(), "fig10 anchors drifted: {:?}", artifact.failures());
 
     let inv14 = Inverter::fo4(&card::n14finfet());

@@ -2,7 +2,7 @@
 //! Correctness is gated through the experiment registry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_memcalc::soc::SocEnergyModel;
 use ntc_stats::sweep::voltage_grid;
 use std::hint::black_box;
@@ -16,7 +16,7 @@ fn sweep_total(model: &SocEnergyModel) -> f64 {
 
 fn bench(c: &mut Criterion) {
     // Gate before timing: the floor/dominance anchors must be in band.
-    let artifact = find("fig1").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::Fig1).run(&RunCtx::quick());
     assert!(artifact.passed(), "fig1 anchors drifted: {:?}", artifact.failures());
 
     let cots = SocEnergyModel::exg_processor_40nm();

@@ -2,13 +2,13 @@
 //! gated through the experiment registry, where the paper anchors live.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_memcalc::designs::computed_rows;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     // Gate before timing: every Table 1 anchor must be in band.
-    let artifact = find("table1").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::Table1).run(&RunCtx::quick());
     assert!(artifact.passed(), "table1 anchors drifted: {:?}", artifact.failures());
 
     c.bench_function("table1/computed_rows", |b| b.iter(|| black_box(computed_rows())));

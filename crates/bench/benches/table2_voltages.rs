@@ -3,13 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ntc::fit::{paper_platform_f_max, FitSolver, Scheme, VoltageGrid};
-use ntc::repro::{find, RunCtx};
+use ntc::repro::{ExperimentId, find_id, RunCtx};
 use ntc_sram::failure::AccessLaw;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     // Gate before timing: every Table 2 anchor must be in band.
-    let artifact = find("table2").unwrap().run(&RunCtx::quick());
+    let artifact = find_id(ExperimentId::Table2).run(&RunCtx::quick());
     assert!(artifact.passed(), "table2 anchors drifted: {:?}", artifact.failures());
 
     let solver =

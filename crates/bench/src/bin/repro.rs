@@ -7,6 +7,7 @@
 //! repro check --all                              # verify paper anchors
 //! repro diff baselines/quick --quick             # regression-diff a baseline
 //! repro report --all --html report.html          # self-contained HTML report
+//! repro serve --port 0                           # HTTP/1.1 JSON query service
 //! ```
 //!
 //! `run` defaults to full paper-fidelity Monte-Carlo sizes (`--quick`
@@ -22,7 +23,7 @@ use std::time::Instant;
 
 use ntc::artifact::diff::{diff_artifacts, Tolerance};
 use ntc::artifact::{Artifact, Check};
-use ntc::repro::{find, registry, run_one, RunCtx};
+use ntc::repro::{find_id, registry, run_one, ExperimentId, RunCtx};
 use ntc_bench::report::{render_report, ReportMeta};
 use ntc_bench::{csv_sections, render_csv, render_text};
 use ntc_obs::Provenance;
@@ -41,7 +42,9 @@ fn usage() -> ! {
          [--out <dir>] [--trace <file>] [--metrics <file>] [--quick] [--seed <n>]\n  \
          repro check <id...>|--all [--quick] [--seed <n>]\n  \
          repro diff <baseline-dir> [<id...>] [--rtol <x>] [--quick] [--seed <n>]\n  \
-         repro report <id...>|--all [--html <file>] [--quick] [--seed <n>]"
+         repro report <id...>|--all [--html <file>] [--quick] [--seed <n>]\n  \
+         repro serve [--addr <ip>] [--port <n>] [--workers <n>] [--queue <n>] \
+         [--deadline-ms <n>] [--seed <n>]"
     );
     std::process::exit(2);
 }
@@ -135,25 +138,31 @@ fn parse_options(args: &[String], selection: Selection) -> Options {
 }
 
 fn context(opts: &Options) -> RunCtx {
-    let ctx = if opts.quick { RunCtx::quick() } else { RunCtx::paper() };
-    match opts.seed {
-        Some(seed) => ctx.with_seed(seed),
-        None => ctx,
+    let mut builder = RunCtx::builder();
+    if opts.quick {
+        builder = builder.quick();
     }
+    if let Some(seed) = opts.seed {
+        builder = builder.seed(seed);
+    }
+    builder.build()
 }
 
-/// Resolves the requested experiments, exiting on unknown ids.
+/// Resolves the requested experiments, exiting on unknown ids. The
+/// typed-id parse error already enumerates every registered id, so the
+/// operator sees the valid vocabulary, not just a rejection.
 fn resolve(opts: &Options) -> Vec<Box<dyn ntc::repro::Experiment>> {
     if opts.all {
         return registry();
     }
     opts.ids
         .iter()
-        .map(|id| {
-            find(id).unwrap_or_else(|| {
-                eprintln!("unknown experiment `{id}` — see `repro list`");
+        .map(|id| match id.parse::<ExperimentId>() {
+            Ok(id) => find_id(id),
+            Err(e) => {
+                eprintln!("{e}");
                 std::process::exit(2);
-            })
+            }
         })
         .collect()
 }
@@ -387,7 +396,7 @@ fn cmd_diff(args: &[String]) -> ExitCode {
         if !opts.ids.is_empty() && !opts.ids.contains(&old.id) {
             continue;
         }
-        let Some(e) = find(&old.id) else {
+        let Ok(e) = old.id.parse::<ExperimentId>().map(find_id) else {
             println!("[structure] {}: experiment no longer registered", old.id);
             regressions += 1;
             continue;
@@ -447,6 +456,65 @@ fn cmd_report(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = ntc_serve::ServeConfig::default();
+    let mut ip = "127.0.0.1".to_string();
+    let mut port: u16 = 7878;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => ip = a.clone(),
+                None => usage(),
+            },
+            "--port" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(p) => port = p,
+                None => usage(),
+            },
+            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.queue_capacity = n,
+                _ => usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(ms) if ms > 0 => {
+                    config.deadline = std::time::Duration::from_millis(ms);
+                }
+                _ => usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => config.seed = seed,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    config.addr = format!("{ip}:{port}");
+    // The service publishes /metrics, so the layer is always on here;
+    // artifact bytes are unaffected by contract.
+    ntc_obs::enable();
+    ntc_serve::signal::install();
+    match ntc_serve::Server::bind(config) {
+        Ok(server) => {
+            // Machine-readable first line: scripts parse the resolved
+            // port from here when started with --port 0.
+            println!("listening on http://{}", server.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.join();
+            eprintln!("shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot bind {ip}:{port}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -455,6 +523,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&parse_options(&args[1..], Selection::Required)),
         Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&parse_options(&args[1..], Selection::Required)),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }

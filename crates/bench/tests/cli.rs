@@ -153,3 +153,61 @@ fn unknown_experiment_exits_with_usage_code() {
     let out = repro(&["check", "definitely-not-an-experiment", "--quick"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn unknown_experiment_error_names_the_valid_ids() {
+    let out = repro(&["run", "fig99", "--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("fig99"), "offending id echoed: {err}");
+    for id in ["fig1", "table2", "ablation_phases"] {
+        assert!(err.contains(id), "valid id `{id}` listed: {err}");
+    }
+}
+
+#[test]
+fn serve_answers_http_on_an_os_assigned_port() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve starts");
+
+    // First stdout line is the machine-readable bind address.
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut first = String::new();
+    lines.read_line(&mut first).expect("bind line");
+    let addr = first
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected bind line {first:?}"))
+        .to_string();
+
+    let request = |raw: String| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+            .expect("timeout");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("response");
+        text
+    };
+
+    let health = request("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n".into());
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+    let body = r#"{"kind":"vmin","scheme":"ocean","frequency_hz":290e3}"#;
+    let query = request(format!(
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    ));
+    assert!(query.starts_with("HTTP/1.1 200"), "{query}");
+    assert!(query.contains(r#""operating":0.33"#), "Table 2 OCEAN cell: {query}");
+
+    child.kill().expect("stop server");
+    let _ = child.wait();
+}

@@ -44,6 +44,7 @@
 
 pub mod artifact;
 pub mod calculator;
+pub mod error;
 pub mod experiments;
 pub mod fit;
 pub mod repro;
@@ -52,8 +53,32 @@ pub mod parallel;
 pub mod standby;
 
 pub use calculator::MemoryCalculator;
+pub use error::NtcError;
 pub use experiments::{ExperimentResult, MitigationPolicy, Workload};
 pub use fit::{FitSolver, Scheme, VoltageGrid};
 pub use monitor::{AgingModel, VoltageController};
 pub use parallel::ParallelPlan;
 pub use standby::StandbyAnalysis;
+
+/// The typed public facade in one import.
+///
+/// Everything a consumer needs to enumerate, run and check
+/// reproductions — and to classify failures — without reaching into
+/// submodules:
+///
+/// ```
+/// use ntc::prelude::*;
+///
+/// let ctx = RunCtx::builder().quick().build();
+/// let artifact = find_id(ExperimentId::Fig6).run(&ctx);
+/// assert!(artifact.passed());
+/// ```
+pub mod prelude {
+    pub use crate::artifact::{Artifact, Band, Check, PaperRef, Scalar, Series, Table};
+    pub use crate::error::NtcError;
+    pub use crate::fit::{FitSolver, Scheme, SolvedVoltage, VoltageGrid};
+    pub use crate::repro::{
+        experiment_ids, find_id, registry, run_all, run_one, Experiment, ExperimentId, RunCtx,
+        RunCtxBuilder, Scale,
+    };
+}

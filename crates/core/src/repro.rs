@@ -17,15 +17,27 @@
 //! artifact is a pure function of `(experiment id, seed, scale)` — the
 //! JSON rendering is byte-identical across runs and thread counts.
 //!
-//! ```
-//! use ntc::repro::{find, RunCtx};
+//! # Typed ids
 //!
-//! let ctx = RunCtx::quick();
-//! let table2 = find("table2").unwrap().run(&ctx);
+//! Experiments are addressed by the exhaustive [`ExperimentId`] enum,
+//! not raw strings: [`find_id`] is infallible, and external strings
+//! (CLI arguments, HTTP request bodies) enter through
+//! [`ExperimentId::from_str`], whose error enumerates every valid id.
+//!
+//! ```
+//! use ntc::repro::{find_id, ExperimentId, RunCtx};
+//!
+//! let ctx = RunCtx::builder().quick().build();
+//! let table2 = find_id(ExperimentId::Table2).run(&ctx);
 //! assert!(table2.passed(), "every Table 2 cell is in band");
+//! assert_eq!("table2".parse::<ExperimentId>(), Ok(ExperimentId::Table2));
 //! ```
 
+use std::fmt;
+use std::str::FromStr;
 use std::sync::OnceLock;
+
+use crate::error::NtcError;
 
 use crate::artifact::{Artifact, Cell, Column, PaperRef, Series, Table};
 use crate::experiments::{
@@ -38,7 +50,7 @@ use ntc_memcalc::cache::CachedSoc;
 use ntc_sram::failure::{AccessLaw, RetentionLaw};
 
 /// How much Monte-Carlo work an experiment run may spend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Scale {
     /// Full paper-fidelity sample counts — what `repro run` uses.
@@ -71,26 +83,87 @@ pub struct RunCtx {
     fig9: OnceLock<Vec<ExperimentResult>>,
 }
 
-impl RunCtx {
-    /// Full-fidelity context with the paper's seed (2014).
-    pub fn paper() -> Self {
-        Self::with_scale(Scale::Paper)
+/// Builder for [`RunCtx`] with documented defaults.
+///
+/// | field  | default | meaning |
+/// |--------|---------|---------|
+/// | `seed` | `2014` (the paper's year) | root of every counter-based random stream |
+/// | `scale`| [`Scale::Paper`] | full-fidelity Monte-Carlo sample counts |
+///
+/// Worker-thread count is not a per-context knob: the parallel engine
+/// resolves it once per process from `NTC_THREADS` or the available
+/// parallelism (see `ntc_stats::exec::threads`), and it never affects
+/// results — only wall-clock time.
+///
+/// ```
+/// use ntc::repro::{RunCtx, Scale};
+///
+/// let ctx = RunCtx::builder().seed(7).scale(Scale::Quick).build();
+/// assert_eq!(ctx.seed(), 7);
+/// assert_eq!(ctx.scale(), Scale::Quick);
+/// ```
+#[derive(Debug, Clone, Copy)]
+#[must_use = "call .build() to obtain a RunCtx"]
+pub struct RunCtxBuilder {
+    seed: u64,
+    scale: Scale,
+}
+
+impl RunCtxBuilder {
+    /// Replaces the input/fault seed (default 2014).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
-    /// Reduced-Monte-Carlo context for fast (debug-build) test runs.
-    pub fn quick() -> Self {
-        Self::with_scale(Scale::Quick)
+    /// Selects the Monte-Carlo scale (default [`Scale::Paper`]).
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
     }
 
-    /// A context at an explicit scale.
-    pub fn with_scale(scale: Scale) -> Self {
+    /// Shorthand for `.scale(Scale::Quick)`.
+    pub fn quick(self) -> Self {
+        self.scale(Scale::Quick)
+    }
+
+    /// Builds the context (constructs the memoized platform model).
+    pub fn build(self) -> RunCtx {
         RunCtx {
-            seed: 2014,
-            scale,
+            seed: self.seed,
+            scale: self.scale,
             platform: paper_platform_model(),
             fig8: OnceLock::new(),
             fig9: OnceLock::new(),
         }
+    }
+}
+
+impl Default for RunCtxBuilder {
+    fn default() -> Self {
+        RunCtxBuilder { seed: 2014, scale: Scale::Paper }
+    }
+}
+
+impl RunCtx {
+    /// A builder with the documented defaults (seed 2014, paper scale).
+    pub fn builder() -> RunCtxBuilder {
+        RunCtxBuilder::default()
+    }
+
+    /// Full-fidelity context with the paper's seed (2014).
+    pub fn paper() -> Self {
+        Self::builder().build()
+    }
+
+    /// Reduced-Monte-Carlo context for fast (debug-build) test runs.
+    pub fn quick() -> Self {
+        Self::builder().quick().build()
+    }
+
+    /// A context at an explicit scale.
+    pub fn with_scale(scale: Scale) -> Self {
+        Self::builder().scale(scale).build()
     }
 
     /// Replaces the input/fault seed (builder style).
@@ -154,8 +227,9 @@ impl Default for RunCtx {
 
 /// One registered reproduction of a paper figure, table or claim.
 pub trait Experiment: Sync {
-    /// Stable identifier (`fig8`, `table2`, `ablation_phases`, …).
-    fn id(&self) -> &'static str;
+    /// Typed identifier; its [`ExperimentId::as_str`] form (`fig8`,
+    /// `table2`, `ablation_phases`, …) is what artifacts and CLIs show.
+    fn id(&self) -> ExperimentId;
     /// One-line description for `repro list`.
     fn description(&self) -> &'static str;
     /// Where in the paper the reproduced quantity lives (`"Fig. 4"`,
@@ -166,40 +240,111 @@ pub trait Experiment: Sync {
     fn run(&self, ctx: &RunCtx) -> Artifact;
 }
 
+/// Declares the exhaustive experiment id enum next to the only
+/// id → implementation match, so adding an experiment is one line here
+/// and the compiler walks every consumer through the change.
+macro_rules! experiment_registry {
+    ($(($variant:ident, $name:literal, $ty:ident)),* $(,)?) => {
+        /// Typed identifier of every registered experiment.
+        ///
+        /// The enum is exhaustive over the registry: a value of this
+        /// type always resolves via [`find_id`], and matching on it
+        /// forces consumers to handle new experiments at compile time.
+        /// String forms (CLI arguments, JSON requests) convert through
+        /// [`FromStr`]/[`fmt::Display`] using the same stable names
+        /// artifacts carry (`fig8`, `table2`, `ablation_phases`, …).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub enum ExperimentId {
+            $(
+                #[doc = concat!("`", $name, "`")]
+                $variant,
+            )*
+        }
+
+        impl ExperimentId {
+            /// Every experiment id, in paper (registry) order.
+            pub const ALL: [ExperimentId; experiment_registry!(@count $($variant)*)] =
+                [$(ExperimentId::$variant),*];
+
+            /// The stable string form (also the artifact id).
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(ExperimentId::$variant => $name),*
+                }
+            }
+        }
+
+        /// Looks up the implementation of a typed id (infallible — the
+        /// enum is exhaustive over the registry).
+        pub fn find_id(id: ExperimentId) -> Box<dyn Experiment> {
+            match id {
+                $(ExperimentId::$variant => Box::new($ty)),*
+            }
+        }
+
+        impl FromStr for ExperimentId {
+            type Err = NtcError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                match s {
+                    $($name => Ok(ExperimentId::$variant),)*
+                    _ => Err(NtcError::UnknownExperiment { id: s.to_string() }),
+                }
+            }
+        }
+    };
+    (@count $($x:ident)*) => { 0usize $(+ { let _ = stringify!($x); 1 })* };
+}
+
+experiment_registry![
+    (Fig1, "fig1", Fig1),
+    (Fig3, "fig3", Fig3),
+    (Fig4, "fig4", Fig4),
+    (Fig5, "fig5", Fig5),
+    (Fig6, "fig6", Fig6),
+    (Fig7, "fig7", Fig7),
+    (Fig8, "fig8", Fig8),
+    (Fig9, "fig9", Fig9),
+    (Fig10, "fig10", Fig10),
+    (Table1, "table1", Table1),
+    (Table2, "table2", Table2),
+    (Headline, "headline", HeadlineClaims),
+    (Profile, "profile", Profile),
+    (AblationInterleave, "ablation_interleave", AblationInterleave),
+    (AblationPhases, "ablation_phases", AblationPhases),
+    (AblationCorrelation, "ablation_correlation", AblationCorrelation),
+    (AblationGuardband, "ablation_guardband", AblationGuardband),
+    (AblationBanking, "ablation_banking", AblationBanking),
+    (AblationDetection, "ablation_detection", AblationDetection),
+    (AblationBufferCode, "ablation_buffer_code", AblationBufferCode),
+];
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Every reproduction in the workspace, in paper order.
 pub fn registry() -> Vec<Box<dyn Experiment>> {
-    vec![
-        Box::new(Fig1),
-        Box::new(Fig3),
-        Box::new(Fig4),
-        Box::new(Fig5),
-        Box::new(Fig6),
-        Box::new(Fig7),
-        Box::new(Fig8),
-        Box::new(Fig9),
-        Box::new(Fig10),
-        Box::new(Table1),
-        Box::new(Table2),
-        Box::new(HeadlineClaims),
-        Box::new(Profile),
-        Box::new(AblationInterleave),
-        Box::new(AblationPhases),
-        Box::new(AblationCorrelation),
-        Box::new(AblationGuardband),
-        Box::new(AblationBanking),
-        Box::new(AblationDetection),
-        Box::new(AblationBufferCode),
-    ]
+    ExperimentId::ALL.iter().map(|&id| find_id(id)).collect()
 }
 
-/// Looks an experiment up by its [`Experiment::id`].
+/// Looks an experiment up by its string id.
+///
+/// Deprecation shim for pre-`ExperimentId` callers: external strings
+/// still resolve, but the `Option` hides *why* a lookup failed. New
+/// code parses an [`ExperimentId`] (whose error lists the valid ids)
+/// and calls the infallible [`find_id`].
+#[deprecated(since = "0.1.0", note = "parse an `ExperimentId` and call `find_id` instead")]
 pub fn find(id: &str) -> Option<Box<dyn Experiment>> {
-    registry().into_iter().find(|e| e.id() == id)
+    id.parse::<ExperimentId>().ok().map(find_id)
 }
 
-/// The ids of every registered experiment, in registry order.
+/// The string ids of every registered experiment, in registry order.
 pub fn experiment_ids() -> Vec<&'static str> {
-    registry().iter().map(|e| e.id()).collect()
+    ExperimentId::ALL.iter().map(|id| id.as_str()).collect()
 }
 
 /// Runs one experiment under a `repro.<id>` span.
@@ -226,8 +371,8 @@ pub fn run_all(ctx: &RunCtx) -> Vec<Artifact> {
 struct Fig1;
 
 impl Experiment for Fig1 {
-    fn id(&self) -> &'static str {
-        "fig1"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig1
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 1"
@@ -309,8 +454,8 @@ impl Experiment for Fig1 {
 struct Fig3;
 
 impl Experiment for Fig3 {
-    fn id(&self) -> &'static str {
-        "fig3"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig3
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 3"
@@ -368,8 +513,8 @@ impl Experiment for Fig3 {
 struct Fig4;
 
 impl Experiment for Fig4 {
-    fn id(&self) -> &'static str {
-        "fig4"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig4
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 4 / Eq. 4"
@@ -465,8 +610,8 @@ impl Experiment for Fig4 {
 struct Fig5;
 
 impl Experiment for Fig5 {
-    fn id(&self) -> &'static str {
-        "fig5"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig5
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 5 / Eq. 5"
@@ -606,8 +751,8 @@ impl Experiment for Fig5 {
 struct Fig6;
 
 impl Experiment for Fig6 {
-    fn id(&self) -> &'static str {
-        "fig6"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig6
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 6"
@@ -670,8 +815,8 @@ impl Experiment for Fig6 {
 struct Fig7;
 
 impl Experiment for Fig7 {
-    fn id(&self) -> &'static str {
-        "fig7"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig7
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 7"
@@ -811,8 +956,8 @@ fn ocean_savings(rows: &[ExperimentResult]) -> (f64, f64) {
 struct Fig8;
 
 impl Experiment for Fig8 {
-    fn id(&self) -> &'static str {
-        "fig8"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig8
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 8"
@@ -845,8 +990,8 @@ impl Experiment for Fig8 {
 struct Fig9;
 
 impl Experiment for Fig9 {
-    fn id(&self) -> &'static str {
-        "fig9"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig9
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 9"
@@ -904,8 +1049,8 @@ impl Experiment for Fig9 {
 struct Fig10;
 
 impl Experiment for Fig10 {
-    fn id(&self) -> &'static str {
-        "fig10"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Fig10
     }
     fn paper_ref(&self) -> &'static str {
         "Fig. 10"
@@ -989,8 +1134,8 @@ fn table1_table(name: &str, rows: &[ntc_memcalc::designs::Table1Row]) -> Table {
 struct Table1;
 
 impl Experiment for Table1 {
-    fn id(&self) -> &'static str {
-        "table1"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Table1
     }
     fn paper_ref(&self) -> &'static str {
         "Table 1"
@@ -1049,8 +1194,8 @@ impl Experiment for Table1 {
 struct Table2;
 
 impl Experiment for Table2 {
-    fn id(&self) -> &'static str {
-        "table2"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Table2
     }
     fn paper_ref(&self) -> &'static str {
         "Table 2"
@@ -1119,8 +1264,8 @@ impl Experiment for Table2 {
 struct HeadlineClaims;
 
 impl Experiment for HeadlineClaims {
-    fn id(&self) -> &'static str {
-        "headline"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Headline
     }
     fn paper_ref(&self) -> &'static str {
         "Abstract"
@@ -1164,8 +1309,8 @@ impl Experiment for HeadlineClaims {
 struct Profile;
 
 impl Experiment for Profile {
-    fn id(&self) -> &'static str {
-        "profile"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Profile
     }
     fn paper_ref(&self) -> &'static str {
         "§II (workload)"
@@ -1277,8 +1422,8 @@ fn bisect_min_voltage(fail: impl Fn(f64) -> f64) -> f64 {
 struct AblationInterleave;
 
 impl Experiment for AblationInterleave {
-    fn id(&self) -> &'static str {
-        "ablation_interleave"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::AblationInterleave
     }
     fn paper_ref(&self) -> &'static str {
         "§III-B (beyond paper)"
@@ -1323,8 +1468,8 @@ impl Experiment for AblationInterleave {
 struct AblationPhases;
 
 impl Experiment for AblationPhases {
-    fn id(&self) -> &'static str {
-        "ablation_phases"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::AblationPhases
     }
     fn paper_ref(&self) -> &'static str {
         "§III-C (beyond paper)"
@@ -1371,8 +1516,8 @@ impl Experiment for AblationPhases {
 struct AblationCorrelation;
 
 impl Experiment for AblationCorrelation {
-    fn id(&self) -> &'static str {
-        "ablation_correlation"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::AblationCorrelation
     }
     fn paper_ref(&self) -> &'static str {
         "§III-A (beyond paper)"
@@ -1431,8 +1576,8 @@ impl Experiment for AblationCorrelation {
 struct AblationGuardband;
 
 impl Experiment for AblationGuardband {
-    fn id(&self) -> &'static str {
-        "ablation_guardband"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::AblationGuardband
     }
     fn paper_ref(&self) -> &'static str {
         "§II (beyond paper)"
@@ -1469,8 +1614,8 @@ impl Experiment for AblationGuardband {
 struct AblationBanking;
 
 impl Experiment for AblationBanking {
-    fn id(&self) -> &'static str {
-        "ablation_banking"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::AblationBanking
     }
     fn paper_ref(&self) -> &'static str {
         "§III-B (beyond paper)"
@@ -1539,8 +1684,8 @@ impl Experiment for AblationBanking {
 struct AblationDetection;
 
 impl Experiment for AblationDetection {
-    fn id(&self) -> &'static str {
-        "ablation_detection"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::AblationDetection
     }
     fn paper_ref(&self) -> &'static str {
         "§III-C (beyond paper)"
@@ -1597,8 +1742,8 @@ impl Experiment for AblationDetection {
 struct AblationBufferCode;
 
 impl Experiment for AblationBufferCode {
-    fn id(&self) -> &'static str {
-        "ablation_buffer_code"
+    fn id(&self) -> ExperimentId {
+        ExperimentId::AblationBufferCode
     }
     fn paper_ref(&self) -> &'static str {
         "§III-B (beyond paper)"
@@ -1685,13 +1830,40 @@ mod tests {
         assert!(ids.len() >= 17, "{} experiments", ids.len());
         let set: HashSet<_> = ids.iter().collect();
         assert_eq!(set.len(), ids.len(), "duplicate experiment id");
+        assert_eq!(ids.len(), ExperimentId::ALL.len());
     }
 
     #[test]
-    fn find_resolves_every_id() {
-        for id in experiment_ids() {
-            assert_eq!(find(id).expect("id resolves").id(), id);
+    fn typed_ids_round_trip_and_resolve() {
+        for id in ExperimentId::ALL {
+            assert_eq!(id.as_str().parse::<ExperimentId>(), Ok(id));
+            assert_eq!(id.to_string(), id.as_str());
+            assert_eq!(find_id(id).id(), id, "registry entry agrees with its id");
         }
+    }
+
+    #[test]
+    fn unknown_id_error_names_the_registry() {
+        let err = "fig2".parse::<ExperimentId>().unwrap_err();
+        assert_eq!(err.kind(), "unknown_experiment");
+        assert!(err.to_string().contains("table2"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn string_find_shim_still_resolves() {
+        assert_eq!(find("fig8").expect("shim resolves").id(), ExperimentId::Fig8);
+        assert!(find("not-an-experiment").is_none());
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_context() {
+        let ctx = RunCtx::builder().build();
+        assert_eq!(ctx.seed(), 2014);
+        assert_eq!(ctx.scale(), Scale::Paper);
+        let quick = RunCtx::builder().quick().seed(99).build();
+        assert_eq!(quick.scale(), Scale::Quick);
+        assert_eq!(quick.seed(), 99);
     }
 
     #[test]
@@ -1705,7 +1877,7 @@ mod tests {
     #[test]
     fn table2_artifact_is_all_in_band() {
         let ctx = RunCtx::quick();
-        let a = find("table2").unwrap().run(&ctx);
+        let a = find_id(ExperimentId::Table2).run(&ctx);
         assert!(a.passed(), "failures: {:?}", a.failures());
         assert_eq!(
             a.table("min_voltage").unwrap().num("frequency", "290 kHz", "ocean"),

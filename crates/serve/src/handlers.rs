@@ -1,0 +1,381 @@
+//! Request routing and response rendering.
+//!
+//! Every handler is a pure function of (request, [`ServerState`]) up to
+//! memoization — equal requests produce byte-identical bodies no matter
+//! which worker shard answers, because every payload is rendered
+//! through the artifact layer's deterministic [`JsonValue`] writer and
+//! the memo tables only change *when* a model or experiment is
+//! evaluated, never what it produces.
+//!
+//! Routes:
+//!
+//! | method | path              | answer                                    |
+//! |--------|-------------------|-------------------------------------------|
+//! | GET    | `/experiments`    | registry listing with paper references    |
+//! | GET    | `/artifact/{id}`  | artifact JSON (`?scale=quick\|paper`)     |
+//! | POST   | `/run`            | artifact + check verdicts for one run     |
+//! | POST   | `/query`          | fine-grained model queries (single/batch) |
+//! | GET    | `/healthz`        | liveness probe                            |
+//! | GET    | `/metrics`        | `ntc-obs` metrics snapshot                |
+//!
+//! Errors are structured: every non-2xx body is
+//! `{"error":{"kind":..., "message":...}}` with the stable
+//! [`NtcError::kind`] vocabulary, so scripted clients can branch on
+//! `kind` instead of scraping messages.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use ntc::artifact::json::{parse, JsonValue};
+use ntc::artifact::{Artifact, Check};
+use ntc::error::NtcError;
+use ntc::repro::{find_id, registry, run_one, ExperimentId, RunCtx, Scale};
+
+use crate::http::Request;
+use crate::query::{eval, Models, Query};
+
+/// Shared, thread-safe state behind all worker shards.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The memoized paper models `/query` evaluates against.
+    pub models: Models,
+    /// Seed used when a request does not carry one.
+    pub default_seed: u64,
+    /// Completed experiment runs, keyed by (id, scale, seed).
+    run_memo: Mutex<HashMap<(ExperimentId, Scale, u64), Artifact>>,
+}
+
+impl ServerState {
+    /// Fresh state with empty memo tables.
+    pub fn new(default_seed: u64) -> Self {
+        ServerState {
+            models: Models::paper(),
+            default_seed,
+            run_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `id` at (scale, seed), answering from the memo when this
+    /// exact run has completed before. Artifacts are pure functions of
+    /// (id, seed, scale), so a memoized answer is indistinguishable
+    /// from a fresh one — hits surface only in the
+    /// `serve.run.memo_hit` counter.
+    fn run_memoized(&self, id: ExperimentId, scale: Scale, seed: u64) -> Artifact {
+        if let Some(done) = self.run_memo.lock().expect("run memo lock").get(&(id, scale, seed)) {
+            ntc_obs::counter_add("serve.run.memo_hit", 1);
+            return done.clone();
+        }
+        let ctx = RunCtx::builder().seed(seed).scale(scale).build();
+        let artifact = run_one(find_id(id).as_ref(), &ctx);
+        self.run_memo
+            .lock()
+            .expect("run memo lock")
+            .entry((id, scale, seed))
+            .or_insert(artifact)
+            .clone()
+    }
+}
+
+/// A structured error body: `{"error":{"kind":...,"message":...}}`.
+pub fn error_body(kind: &str, message: &str) -> String {
+    let mut out = String::new();
+    JsonValue::Obj(vec![(
+        "error".into(),
+        JsonValue::Obj(vec![
+            ("kind".into(), JsonValue::Str(kind.into())),
+            ("message".into(), JsonValue::Str(message.into())),
+        ]),
+    )])
+    .write_compact(&mut out);
+    out
+}
+
+/// The HTTP status an [`NtcError`] maps to.
+fn status_of(err: &NtcError) -> u16 {
+    match err {
+        NtcError::UnknownExperiment { .. } => 404,
+        NtcError::Io { .. } => 500,
+        _ => 400,
+    }
+}
+
+fn err_response(err: &NtcError) -> (u16, String) {
+    (status_of(err), error_body(err.kind(), &err.to_string()))
+}
+
+fn compact(v: &JsonValue) -> String {
+    let mut out = String::new();
+    v.write_compact(&mut out);
+    out
+}
+
+fn check_json(c: &Check) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("artifact".into(), JsonValue::Str(c.artifact.clone())),
+        ("label".into(), JsonValue::Str(c.label.clone())),
+        ("measured".into(), JsonValue::num(c.measured)),
+        ("paper".into(), JsonValue::num(c.paper.paper)),
+        ("band".into(), JsonValue::Str(c.paper.band.to_string())),
+        ("margin".into(), JsonValue::Str(c.margin_display())),
+        ("passes".into(), JsonValue::Bool(c.passes())),
+        ("at_risk".into(), JsonValue::Bool(c.at_risk())),
+    ])
+}
+
+fn parse_scale(s: Option<&str>) -> Result<Scale, NtcError> {
+    match s {
+        None | Some("quick") => Ok(Scale::Quick),
+        Some("paper") => Ok(Scale::Paper),
+        Some(other) => Err(NtcError::invalid_param(
+            "scale",
+            format!("expected \"quick\" or \"paper\", got \"{other}\""),
+        )),
+    }
+}
+
+fn parse_id(s: &str) -> Result<ExperimentId, NtcError> {
+    s.parse::<ExperimentId>()
+}
+
+fn handle_experiments() -> (u16, String) {
+    let entries: Vec<JsonValue> = registry()
+        .iter()
+        .map(|e| {
+            JsonValue::Obj(vec![
+                ("id".into(), JsonValue::Str(e.id().to_string())),
+                ("description".into(), JsonValue::Str(e.description().to_string())),
+                ("paper_ref".into(), JsonValue::Str(e.paper_ref().to_string())),
+            ])
+        })
+        .collect();
+    let body = JsonValue::Obj(vec![("experiments".into(), JsonValue::Arr(entries))]);
+    (200, compact(&body))
+}
+
+/// `GET /artifact/{id}?scale=...` — the artifact alone, rendered with
+/// [`Artifact::to_json`], i.e. byte-identical to
+/// `repro run {id} --format json`. This is what lets a served artifact
+/// be `cmp`'d against `baselines/` or fed to `repro diff` unchanged.
+fn handle_artifact(req: &Request, state: &ServerState) -> (u16, String) {
+    let id = match parse_id(req.path.trim_start_matches("/artifact/")) {
+        Ok(id) => id,
+        Err(e) => return err_response(&e),
+    };
+    let scale = match parse_scale(req.query_param("scale")) {
+        Ok(s) => s,
+        Err(e) => return err_response(&e),
+    };
+    let artifact = state.run_memoized(id, scale, state.default_seed);
+    (200, artifact.to_json())
+}
+
+fn handle_run(req: &Request, state: &ServerState) -> (u16, String) {
+    let body = match parse(&req.body) {
+        Ok(v) => v,
+        Err(e) => return err_response(&NtcError::from(e)),
+    };
+    let id = match body.get("id").and_then(JsonValue::as_str) {
+        Some(s) => match parse_id(s) {
+            Ok(id) => id,
+            Err(e) => return err_response(&e),
+        },
+        None => return err_response(&NtcError::missing_field("id")),
+    };
+    let scale = match parse_scale(body.get("scale").and_then(JsonValue::as_str)) {
+        Ok(s) => s,
+        Err(e) => return err_response(&e),
+    };
+    let seed = match body.get("seed") {
+        None | Some(JsonValue::Null) => state.default_seed,
+        Some(v) => match v.as_num().filter(|s| s.is_finite() && *s >= 0.0 && s.fract() == 0.0) {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Some(s) => s as u64,
+            None => {
+                return err_response(&NtcError::invalid_param(
+                    "seed",
+                    "expected a non-negative integer",
+                ))
+            }
+        },
+    };
+    let artifact = state.run_memoized(id, scale, seed);
+    let checks = artifact.checks();
+    let passed = checks.iter().all(Check::passes);
+    let response = JsonValue::Obj(vec![
+        ("id".into(), JsonValue::Str(id.to_string())),
+        ("scale".into(), JsonValue::Str(scale.name().into())),
+        ("seed".into(), JsonValue::num(seed as f64)),
+        ("artifact".into(), artifact.to_json_value()),
+        ("checks".into(), JsonValue::Arr(checks.iter().map(check_json).collect())),
+        ("passed".into(), JsonValue::Bool(passed)),
+    ]);
+    (200, compact(&response))
+}
+
+fn handle_query(req: &Request, state: &ServerState) -> (u16, String) {
+    let body = match parse(&req.body) {
+        Ok(v) => v,
+        Err(e) => return err_response(&NtcError::from(e)),
+    };
+    // Either one query object, or {"queries": [...]} for a batch that
+    // shares the memo warm-up across entries.
+    let (batch, items): (bool, Vec<&JsonValue>) = match body.get("queries") {
+        Some(JsonValue::Arr(qs)) => (true, qs.iter().collect()),
+        Some(_) => {
+            return err_response(&NtcError::invalid_param("queries", "expected an array"));
+        }
+        None => (false, vec![&body]),
+    };
+    if items.is_empty() {
+        return err_response(&NtcError::invalid_param("queries", "batch must not be empty"));
+    }
+    let mut results = Vec::with_capacity(items.len());
+    for item in items {
+        let out = Query::from_json(item).and_then(|q| eval(&q, &state.models));
+        match out {
+            Ok(v) => results.push(v),
+            Err(e) => return err_response(&e),
+        }
+    }
+    ntc_obs::counter_add("serve.queries", results.len() as u64);
+    let response = if batch {
+        JsonValue::Obj(vec![("results".into(), JsonValue::Arr(results))])
+    } else {
+        results.pop().expect("single query produced a result")
+    };
+    (200, compact(&response))
+}
+
+fn handle_metrics(state: &ServerState) -> (u16, String) {
+    // Publish the derived cache gauge next to the raw counters so
+    // scripts don't have to recompute it.
+    let stats = state.models.cache_stats();
+    ntc_obs::gauge_set("serve.cache.hit_rate", stats.hit_rate());
+    (200, ntc_obs::metrics_json(&ntc_obs::metrics_snapshot()))
+}
+
+/// Routes one framed request to its handler: `(status, body)`.
+pub fn handle(req: &Request, state: &ServerState) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, r#"{"ok":true}"#.to_string()),
+        ("GET", "/metrics") => handle_metrics(state),
+        ("GET", "/experiments") => handle_experiments(),
+        ("GET", p) if p.starts_with("/artifact/") => handle_artifact(req, state),
+        ("POST", "/run") => handle_run(req, state),
+        ("POST", "/query") => handle_query(req, state),
+        (_, "/experiments" | "/metrics" | "/healthz" | "/run" | "/query") => {
+            (405, error_body("unsupported", &format!("{} not allowed here", req.method)))
+        }
+        (_, p) if p.starts_with("/artifact/") => {
+            (405, error_body("unsupported", &format!("{} not allowed here", req.method)))
+        }
+        (_, p) => (404, error_body("unsupported", &format!("no route for {p}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (path.to_string(), String::new()),
+        };
+        Request { method: "GET".into(), path, query, body: String::new() }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: String::new(),
+            body: body.into(),
+        }
+    }
+
+    #[test]
+    fn experiments_listing_covers_the_registry() {
+        let state = ServerState::new(2014);
+        let (status, body) = handle(&get("/experiments"), &state);
+        assert_eq!(status, 200);
+        let v = parse(&body).unwrap();
+        let entries = v.get("experiments").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(entries.len(), ExperimentId::ALL.len());
+        assert!(entries.iter().any(|e| {
+            e.get("id").and_then(JsonValue::as_str) == Some("table2")
+                && e.get("paper_ref").is_some()
+        }));
+    }
+
+    #[test]
+    fn artifact_endpoint_matches_cli_json_bytes() {
+        let state = ServerState::new(2014);
+        let (status, body) = handle(&get("/artifact/table2?scale=quick"), &state);
+        assert_eq!(status, 200);
+        let ctx = RunCtx::builder().quick().build();
+        let direct = run_one(find_id(ExperimentId::Table2).as_ref(), &ctx);
+        assert_eq!(body, direct.to_json(), "served artifact must be byte-identical");
+    }
+
+    #[test]
+    fn run_returns_checks_and_memoizes() {
+        let state = ServerState::new(2014);
+        let req = post("/run", r#"{"id":"table2","scale":"quick"}"#);
+        let (status, first) = handle(&req, &state);
+        assert_eq!(status, 200);
+        let v = parse(&first).unwrap();
+        assert!(v.get("checks").and_then(JsonValue::as_arr).is_some_and(|c| !c.is_empty()));
+        assert_eq!(v.get("passed"), Some(&JsonValue::Bool(true)));
+        let (_, second) = handle(&req, &state);
+        assert_eq!(first, second, "memoized rerun must be byte-identical");
+    }
+
+    #[test]
+    fn unknown_experiment_is_404_with_the_id_list() {
+        let state = ServerState::new(2014);
+        let (status, body) = handle(&post("/run", r#"{"id":"fig99"}"#), &state);
+        assert_eq!(status, 404);
+        let v = parse(&body).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(JsonValue::as_str), Some("unknown_experiment"));
+        let msg = err.get("message").and_then(JsonValue::as_str).unwrap();
+        assert!(msg.contains("table2"), "message lists valid ids: {msg}");
+    }
+
+    #[test]
+    fn malformed_json_is_400_with_kind() {
+        let state = ServerState::new(2014);
+        let (status, body) = handle(&post("/query", "{not json"), &state);
+        assert_eq!(status, 400);
+        let v = parse(&body).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(JsonValue::as_str),
+            Some("malformed_json")
+        );
+    }
+
+    #[test]
+    fn batch_queries_return_results_in_order() {
+        let state = ServerState::new(2014);
+        let req = post(
+            "/query",
+            r#"{"queries":[{"kind":"vmin","scheme":"ocean","frequency_hz":290e3},{"kind":"energy","model":"cots_40nm","vdd":0.55}]}"#,
+        );
+        let (status, body) = handle(&req, &state);
+        assert_eq!(status, 200);
+        let v = parse(&body).unwrap();
+        let results = v.get("results").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("operating").and_then(JsonValue::as_num), Some(0.33));
+        assert_eq!(results[1].get("kind").and_then(JsonValue::as_str), Some("energy"));
+    }
+
+    #[test]
+    fn routing_distinguishes_404_and_405() {
+        let state = ServerState::new(2014);
+        assert_eq!(handle(&get("/nope"), &state).0, 404);
+        assert_eq!(handle(&get("/run"), &state).0, 405);
+        assert_eq!(handle(&post("/experiments", ""), &state).0, 405);
+    }
+}

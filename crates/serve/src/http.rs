@@ -1,0 +1,210 @@
+//! Minimal HTTP/1.1 framing over `std::net` streams.
+//!
+//! Only what the query service needs: request-line + headers + an
+//! optional `Content-Length` body on the way in, and a fixed
+//! `Connection: close` JSON response on the way out. One request per
+//! connection keeps the worker loop free of keep-alive bookkeeping —
+//! the service's clients are scripted queries and load generators, not
+//! browsers holding sockets open.
+//!
+//! Hard input bounds (header block and body size) are enforced before
+//! any allocation proportional to the claimed length, so a malicious
+//! `Content-Length` cannot reserve memory the peer never sends.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block, in bytes.
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request: method, path (query string split off), body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Path component before any `?`.
+    pub path: String,
+    /// Raw query string after the `?` (empty if none).
+    pub query: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+impl Request {
+    /// The value of a `key=value` pair in the query string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be framed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Socket error or timeout while reading.
+    Io(String),
+    /// The bytes were not an HTTP/1.1 request we accept.
+    Malformed(&'static str),
+    /// Header block or body exceeded its bound.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(m) => write!(f, "i/o: {m}"),
+            FrameError::Malformed(m) => write!(f, "malformed request: {m}"),
+            FrameError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+/// Reads one request from the stream (which should already carry a
+/// read timeout; a slow or silent peer surfaces as [`FrameError::Io`]).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, FrameError> {
+    // Read until the blank line that ends the header block.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(FrameError::Malformed("connection closed before headers ended")),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(FrameError::TooLarge("header block"));
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| FrameError::Malformed("non-UTF-8 headers"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().ok_or(FrameError::Malformed("missing request target"))?;
+    if method.is_empty() || !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
+        return Err(FrameError::Malformed("not an HTTP/1.x request line"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| FrameError::Malformed("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(FrameError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|e| FrameError::Io(e.to_string()))?;
+    let body = String::from_utf8(body).map_err(|_| FrameError::Malformed("non-UTF-8 body"))?;
+    Ok(Request { method, path, query, body })
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes. Errors are returned so
+/// the worker can count them, but a dead peer is not fatal to anyone
+/// but itself.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Request, FrameError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = round_trip(
+            b"POST /query?scale=quick HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query_param("scale"), Some("quick"));
+        assert_eq!(req.query_param("seed"), None);
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = round_trip(b"GET /experiments HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/experiments");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_http_lines() {
+        assert!(matches!(
+            round_trip(b"hello there\r\n\r\n"),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_content_length_up_front() {
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(round_trip(raw.as_bytes()), Err(FrameError::TooLarge("body"))));
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 413, 500, 503] {
+            assert_ne!(reason(code), "Unknown");
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! `ntc-serve` — a batched, cache-sharing HTTP/1.1 JSON query service
+//! over the experiment registry.
+//!
+//! The repository's reproductions are pure functions of
+//! `(experiment, seed, scale)`; this crate puts a network front on
+//! them so sweeps, dashboards, and scripted regressions can query the
+//! models without paying a process start (and a cold memo table) per
+//! call. Three views are exposed:
+//!
+//! * `GET /experiments` — the registry, with descriptions and paper
+//!   references.
+//! * `POST /run` / `GET /artifact/{id}` — full experiment runs at
+//!   quick or paper scale, with check verdicts; artifact bytes are
+//!   identical to `repro run --format json`.
+//! * `POST /query` — fine-grained model queries (BER at a supply
+//!   voltage, Vmin for a scheme and FIT budget, energy at an
+//!   operating point), answered from one process-wide memoized
+//!   [`CachedSoc`](ntc_memcalc::cache::CachedSoc) per model.
+//!
+//! # Architecture
+//!
+//! One acceptor thread plus a fixed pool of worker shards (following
+//! the `ntc_stats::exec` layout conventions: shard count resolved once
+//! at startup, each shard numbered in spans). Between them sits a
+//! **bounded** queue: when it fills, the acceptor answers `503`
+//! immediately — backpressure is part of the API contract. Each
+//! request gets a deadline measured from the moment it was accepted;
+//! work that waited too long in the queue is answered `503` without
+//! being evaluated. Shutdown (SIGINT/SIGTERM or
+//! [`RunningServer::shutdown`]) stops the acceptor, lets queued work
+//! drain, and joins every shard.
+//!
+//! # Determinism
+//!
+//! Responses are rendered through the artifact layer's deterministic
+//! JSON writer, and memo tables only change *when* something is
+//! evaluated, never what it evaluates to — so equal requests get
+//! byte-identical bodies regardless of worker shard, concurrency, or
+//! cache state. Memo hits are observable only as
+//! `serve.run.memo_hit` / `memcalc.cache.hit` counters.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod handlers;
+pub mod http;
+pub mod pool;
+pub mod query;
+pub mod signal;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use handlers::{error_body, ServerState};
+use pool::{BoundedQueue, Push};
+
+/// Latency histogram bucket bounds, milliseconds.
+const LATENCY_BOUNDS_MS: [f64; 8] = [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0];
+
+/// How the service binds and schedules work.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an OS-assigned port.
+    pub addr: String,
+    /// Worker shards; `0` means the `ntc_stats` engine thread count.
+    pub workers: usize,
+    /// Bounded queue capacity between acceptor and shards.
+    pub queue_capacity: usize,
+    /// Per-request deadline, measured from accept. A request still
+    /// queued (or a peer still silent) past this is answered `503`.
+    pub deadline: Duration,
+    /// Seed for runs that do not carry their own.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(30),
+            seed: 2014,
+        }
+    }
+}
+
+/// One accepted connection waiting for a worker shard.
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// Entry point: binds and starts a server per [`ServeConfig`].
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, starts the acceptor and worker shards, and
+    /// returns the running server. The listener is live when this
+    /// returns — [`RunningServer::addr`] is ready to connect to.
+    pub fn bind(config: ServeConfig) -> io::Result<RunningServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers = if config.workers == 0 { ntc_stats::exec::threads() } else { config.workers };
+        let state = Arc::new(ServerState::new(config.seed));
+        let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let deadline = config.deadline;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{shard}"))
+                    .spawn(move || worker_loop(shard, &queue, &state, deadline))
+                    .expect("spawn worker shard"),
+            );
+        }
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            let deadline = config.deadline;
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &queue, &stop, deadline))
+                .expect("spawn acceptor")
+        };
+
+        Ok(RunningServer { addr, stop, acceptor: Some(acceptor), workers: handles })
+    }
+}
+
+/// A live server; dropping it without [`shutdown`](Self::shutdown)
+/// detaches the threads (they stop once the process exits).
+pub struct RunningServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued requests, join
+    /// every shard. Idempotent with signal-initiated shutdown — the
+    /// acceptor also exits (and closes the queue) when a
+    /// SIGINT/SIGTERM flag set via [`signal::install`] is seen.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks until the server shuts down on its own — i.e. until a
+    /// signal flips the [`signal`] flag and the acceptor drains out.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Accepts until told to stop, pushing connections at the bounded
+/// queue and answering `503` in-line on overflow. The listener is
+/// non-blocking so the loop can observe the stop flag and the signal
+/// flag without a wake-up connection.
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &BoundedQueue<Job>,
+    stop: &AtomicBool,
+    deadline: Duration,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) || signal::requested() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ntc_obs::counter_add("serve.requests", 1);
+                // The listener is non-blocking; the accepted stream
+                // must not be, or reads race the client's bytes.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(deadline));
+                let job = Job { stream, accepted: Instant::now() };
+                match queue.try_push(job) {
+                    Push::Accepted(depth) => {
+                        #[allow(clippy::cast_precision_loss)]
+                        ntc_obs::gauge_set("serve.queue_depth", depth as f64);
+                    }
+                    Push::Rejected(job) => {
+                        ntc_obs::counter_add("serve.rejected", 1);
+                        // Answer off-thread, and *read the request
+                        // first*: closing a socket with unread input
+                        // sends RST, which would destroy the 503 in
+                        // the peer's receive buffer.
+                        std::thread::spawn(move || {
+                            let mut stream = job.stream;
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                            let _ = http::read_request(&mut stream);
+                            let _ = http::write_response(
+                                &mut stream,
+                                503,
+                                &error_body("overloaded", "request queue is full, retry later"),
+                            );
+                        });
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. aborted handshakes):
+                // keep serving.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    // Reject new work, wake idle shards; queued jobs still drain.
+    queue.close();
+}
+
+/// One worker shard: pop, frame, route, respond, until the queue is
+/// closed and drained.
+fn worker_loop(shard: usize, queue: &BoundedQueue<Job>, state: &ServerState, deadline: Duration) {
+    while let Some(job) = queue.pop() {
+        #[allow(clippy::cast_precision_loss)]
+        ntc_obs::gauge_set("serve.queue_depth", queue.depth() as f64);
+        let started = Instant::now();
+        {
+            #[allow(clippy::cast_possible_truncation)]
+            let _span = ntc_obs::span("serve.request").with_shard(shard as u32);
+            serve_connection(job, state, deadline);
+        }
+        let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+        ntc_obs::histogram_record("serve.latency_ms", &LATENCY_BOUNDS_MS, latency_ms);
+    }
+}
+
+/// Frames and answers one connection.
+fn serve_connection(job: Job, state: &ServerState, deadline: Duration) {
+    let Job { mut stream, accepted } = job;
+    // Time spent queued counts against the deadline: a request that
+    // waited it out is stale — answer 503 rather than burn a shard on
+    // an answer nobody is waiting for.
+    let elapsed = accepted.elapsed();
+    if elapsed >= deadline {
+        ntc_obs::counter_add("serve.deadline_missed", 1);
+        let _ = http::write_response(
+            &mut stream,
+            503,
+            &error_body("deadline", "request spent its deadline queued"),
+        );
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(deadline - elapsed));
+    let (status, body) = match http::read_request(&mut stream) {
+        Ok(req) => handlers::handle(&req, state),
+        Err(http::FrameError::TooLarge(what)) => {
+            (413, error_body("too_large", &format!("{what} exceeds the accepted bound")))
+        }
+        Err(http::FrameError::Malformed(what)) => (400, error_body("malformed_request", what)),
+        Err(http::FrameError::Io(_)) => {
+            // Peer went silent or away; nothing useful to answer, but
+            // try a 503 in case it is merely slow.
+            ntc_obs::counter_add("serve.deadline_missed", 1);
+            let _ = http::write_response(
+                &mut stream,
+                503,
+                &error_body("deadline", "request not received within the deadline"),
+            );
+            return;
+        }
+    };
+    if status >= 400 {
+        ntc_obs::counter_add("serve.errors", 1);
+    }
+    ntc_obs::counter_add("serve.responses", 1);
+    let _ = http::write_response(&mut stream, status, &body);
+}

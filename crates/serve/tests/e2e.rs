@@ -1,0 +1,256 @@
+//! End-to-end socket tests: a real server on an OS-assigned port,
+//! driven through real `TcpStream`s — list → run → query flows,
+//! concurrent determinism, backpressure, error payloads, and graceful
+//! shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ntc::artifact::json::{parse, JsonValue};
+use ntc_serve::{ServeConfig, Server};
+
+/// A parsed response: status code and body.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+/// Sends one request and reads the response to EOF
+/// (the server speaks `Connection: close`).
+fn roundtrip(addr: SocketAddr, raw: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Response { status, body }
+}
+
+fn get(addr: SocketAddr, path: &str) -> Response {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn quick_server() -> ntc_serve::RunningServer {
+    Server::bind(ServeConfig { workers: 4, ..ServeConfig::default() }).expect("bind")
+}
+
+fn error_kind(body: &str) -> String {
+    parse(body)
+        .ok()
+        .and_then(|v| {
+            v.get("error")?
+                .get("kind")?
+                .as_str()
+                .map(str::to_string)
+        })
+        .unwrap_or_else(|| panic!("no error kind in {body:?}"))
+}
+
+#[test]
+fn list_run_query_flow() {
+    let server = quick_server();
+    let addr = server.addr();
+
+    // Liveness first.
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, r#"{"ok":true}"#);
+
+    // List: every registered experiment, with paper references.
+    let list = get(addr, "/experiments");
+    assert_eq!(list.status, 200);
+    let listed = parse(&list.body).expect("listing parses");
+    let entries = listed.get("experiments").and_then(JsonValue::as_arr).expect("array");
+    assert_eq!(entries.len(), ntc::repro::ExperimentId::ALL.len());
+    let table2 = entries
+        .iter()
+        .find(|e| e.get("id").and_then(JsonValue::as_str) == Some("table2"))
+        .expect("table2 listed");
+    assert_eq!(table2.get("paper_ref").and_then(JsonValue::as_str), Some("Table 2"));
+
+    // Run one of the listed experiments at quick scale.
+    let run = post(addr, "/run", r#"{"id":"table2","scale":"quick"}"#);
+    assert_eq!(run.status, 200);
+    let ran = parse(&run.body).expect("run response parses");
+    assert_eq!(ran.get("passed"), Some(&JsonValue::Bool(true)));
+    assert!(ran.get("artifact").is_some());
+    assert!(ran
+        .get("checks")
+        .and_then(JsonValue::as_arr)
+        .is_some_and(|c| !c.is_empty()));
+
+    // Query the model the run was built from.
+    let q = post(addr, "/query", r#"{"kind":"vmin","scheme":"ocean","frequency_hz":290e3}"#);
+    assert_eq!(q.status, 200);
+    let solved = parse(&q.body).expect("query response parses");
+    assert_eq!(solved.get("operating").and_then(JsonValue::as_num), Some(0.33));
+
+    server.shutdown();
+}
+
+#[test]
+fn served_artifact_is_byte_identical_to_a_direct_run() {
+    let server = quick_server();
+    let got = get(server.addr(), "/artifact/fig6?scale=quick");
+    assert_eq!(got.status, 200);
+    let ctx = ntc::repro::RunCtx::builder().quick().build();
+    let direct = ntc::repro::run_one(
+        ntc::repro::find_id(ntc::repro::ExperimentId::Fig6).as_ref(),
+        &ctx,
+    );
+    assert_eq!(got.body, direct.to_json());
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_queries_get_byte_identical_bodies() {
+    let server = quick_server();
+    let addr = server.addr();
+    // Prime the memo from one thread, then race 32 clients: every
+    // body must be identical down to the byte, whichever worker shard
+    // answers and whatever the cache state was when it did.
+    let body = r#"{"queries":[{"kind":"energy","model":"cots_40nm","vdd":0.55},{"kind":"vmin","scheme":"secded"},{"kind":"ber","law":"retention","memory":"cell_based_65nm","vdd":0.31}]}"#;
+    let reference = post(addr, "/query", body);
+    assert_eq!(reference.status, 200);
+    let clients: Vec<_> = (0..32)
+        .map(|_| std::thread::spawn(move || post(addr, "/query", body)))
+        .collect();
+    for client in clients {
+        let got = client.join().expect("client thread");
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body, reference.body, "divergent response body");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn repeat_runs_are_memoized_and_byte_identical() {
+    let server = quick_server();
+    let addr = server.addr();
+    let first = post(addr, "/run", r#"{"id":"fig6","scale":"quick"}"#);
+    let second = post(addr, "/run", r#"{"id":"fig6","scale":"quick"}"#);
+    assert_eq!(first.status, 200);
+    assert_eq!(first.body, second.body, "memoized rerun changed bytes");
+    server.shutdown();
+}
+
+#[test]
+fn overflowing_the_queue_gets_an_immediate_503() {
+    // One worker, one queue slot, generous deadline: an idle
+    // connection pins the worker, a second fills the queue, so a
+    // third must bounce with 503 straight from the acceptor.
+    let server = Server::bind(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let pin = TcpStream::connect(addr).expect("pin connects");
+    // Let the worker pop the pinning connection and block in read.
+    std::thread::sleep(Duration::from_millis(300));
+    let queued = TcpStream::connect(addr).expect("queued connects");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let bounced = get(addr, "/healthz");
+    assert_eq!(bounced.status, 503, "third request must bounce: {}", bounced.body);
+    assert_eq!(error_kind(&bounced.body), "overloaded");
+
+    drop(pin);
+    drop(queued);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_json_is_400_with_a_structured_error() {
+    let server = quick_server();
+    let got = post(server.addr(), "/query", "{this is not json");
+    assert_eq!(got.status, 400);
+    assert_eq!(error_kind(&got.body), "malformed_json");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_experiment_is_404_and_names_valid_ids() {
+    let server = quick_server();
+    let got = post(server.addr(), "/run", r#"{"id":"fig99","scale":"quick"}"#);
+    assert_eq!(got.status, 404);
+    assert_eq!(error_kind(&got.body), "unknown_experiment");
+    assert!(got.body.contains("table2"), "valid ids listed: {}", got.body);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_query_params_are_400_with_the_param_named() {
+    let server = quick_server();
+    let addr = server.addr();
+    let got = post(addr, "/query", r#"{"kind":"vmin","scheme":"ocean","fit_target":7.0}"#);
+    assert_eq!(got.status, 400);
+    assert_eq!(error_kind(&got.body), "invalid_param");
+    assert!(got.body.contains("fit_target"), "{}", got.body);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_completes_queued_work_then_refuses_connections() {
+    let server = Server::bind(ServeConfig { workers: 2, ..ServeConfig::default() })
+        .expect("bind");
+    let addr = server.addr();
+    // In-flight request finishes normally...
+    let ok = get(addr, "/healthz");
+    assert_eq!(ok.status, 200);
+    // ...then shutdown joins the acceptor and every shard.
+    server.shutdown();
+    // The listener is gone: a fresh connection must fail (or be
+    // dropped without an HTTP response on stacks that accept it into
+    // a dying backlog).
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let mut text = String::new();
+            let _ = stream.read_to_string(&mut text);
+            assert!(text.is_empty(), "server answered after shutdown: {text:?}");
+        }
+    }
+}
+
+#[test]
+fn metrics_report_serve_counters() {
+    ntc_obs::enable();
+    let server = quick_server();
+    let addr = server.addr();
+    let _ = get(addr, "/healthz");
+    let _ = post(addr, "/query", r#"{"kind":"energy","model":"cots_40nm","vdd":0.6}"#);
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    for needle in ["serve.responses", "serve.queries", "serve.cache.hit_rate"] {
+        assert!(metrics.body.contains(needle), "`{needle}` missing from {}", metrics.body);
+    }
+    server.shutdown();
+}

@@ -5,7 +5,7 @@
 use std::sync::OnceLock;
 
 use ntc::artifact::{Artifact, Band, PaperRef};
-use ntc::repro::{experiment_ids, find, registry, RunCtx};
+use ntc::repro::{experiment_ids, ExperimentId, find_id, registry, RunCtx};
 use proptest::prelude::*;
 
 /// One shared quick-scale context so the fig8/fig9 rows are simulated
@@ -42,7 +42,7 @@ fn every_artifact_round_trips_through_json() {
 #[test]
 fn artifact_ids_and_verdicts_are_consistent() {
     for (e, a) in registry().iter().zip(artifacts()) {
-        assert_eq!(e.id(), a.id, "artifact id diverged from experiment id");
+        assert_eq!(e.id().to_string(), a.id, "artifact id diverged from experiment id");
         assert_eq!(a.passed(), a.failures().is_empty());
         for c in a.checks() {
             assert_eq!(c.passes(), c.paper.holds(c.measured), "{}/{}", a.id, c.label);
@@ -71,7 +71,7 @@ fn check_verdicts_match_direct_solver_assertions() {
     use ntc::fit::{FitSolver, Scheme, VoltageGrid};
     use ntc_sram::failure::AccessLaw;
 
-    let a = find("table2").unwrap().run(ctx());
+    let a = find_id(ExperimentId::Table2).run(ctx());
     let solver =
         FitSolver::new(AccessLaw::cell_based_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
     let table = a.table("min_voltage").expect("table2 min_voltage table");
@@ -101,7 +101,7 @@ fn check_verdicts_match_direct_solver_assertions() {
         assert_eq!(check.passes(), check.paper.holds(plain.max_p_bit(scheme)));
     }
 
-    let fig9 = find("fig9").unwrap().run(ctx());
+    let fig9 = find_id(ExperimentId::Fig9).run(ctx());
     let commercial =
         FitSolver::new(AccessLaw::commercial_40nm(), 1e-15).with_grid(VoltageGrid::PaperGrid);
     for (scheme, label) in [

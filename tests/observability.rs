@@ -10,7 +10,7 @@
 //! span-name filters, and never calls `ntc_obs::reset`/`disable`.
 
 use ntc::artifact::json::{parse, JsonValue};
-use ntc::repro::{find, run_one, RunCtx};
+use ntc::repro::{ExperimentId, find_id, run_one, RunCtx};
 use ntc_obs::SpanRecord;
 use ntc_stats::exec::{mc_counter, par_map_with_threads};
 
@@ -176,11 +176,11 @@ fn artifacts_are_byte_identical_with_instrumentation_on() {
     // fig4 and fig5 publish `diag.*` convergence/fit gauges when the
     // layer is on — their artifact bytes especially must not move.
     for id in ["table2", "fig4", "fig5", "ablation_phases"] {
-        let e = find(id).expect("registered");
+        let e = find_id(id.parse().expect("registered"));
         let baseline = e.run(&ctx).to_json();
         ntc_obs::enable();
         let ctx2 = RunCtx::quick();
-        let traced = run_one(find(id).expect("registered").as_ref(), &ctx2).to_json();
+        let traced = run_one(find_id(id.parse().expect("registered")).as_ref(), &ctx2).to_json();
         assert_eq!(baseline, traced, "{id} artifact changed under tracing");
     }
 }
@@ -237,8 +237,8 @@ fn instrumented_crates_report_their_metrics() {
     let ctx = RunCtx::quick();
     // table2 drives the FIT solver through the memoized energy model;
     // ablation_phases sweeps the OCEAN optimizer.
-    let _ = run_one(find("table2").expect("registered").as_ref(), &ctx);
-    let _ = run_one(find("ablation_phases").expect("registered").as_ref(), &ctx);
+    let _ = run_one(find_id(ExperimentId::Table2).as_ref(), &ctx);
+    let _ = run_one(find_id(ExperimentId::AblationPhases).as_ref(), &ctx);
     let snap = ntc_obs::metrics_snapshot();
     assert!(
         snap.counter("memcalc.cache.hit").unwrap_or(0) > 0,

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use ntc::artifact::Artifact;
-use ntc::repro::{experiment_ids, find, RunCtx};
+use ntc::repro::{experiment_ids, find_id, RunCtx};
 
 /// One shared quick-scale context so the fig8/fig9 rows are simulated
 /// once per test binary.
@@ -31,7 +31,7 @@ fn artifact(id: &str) -> Artifact {
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().unwrap();
     map.entry(id.to_string())
-        .or_insert_with(|| find(id).expect("registered experiment").run(ctx()))
+        .or_insert_with(|| find_id(id.parse().expect("registered experiment")).run(ctx()))
         .clone()
 }
 
