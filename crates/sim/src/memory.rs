@@ -20,8 +20,13 @@
 use ntc_ecc::bch::{BchOutcome, BchQuad};
 use ntc_ecc::secded::{DecodeOutcome, Secded};
 use ntc_sram::failure::AccessLaw;
+use ntc_stats::batch::mantissa_threshold;
 use ntc_stats::rng::Source;
 use std::fmt;
+
+/// Words per [`FaultInjector::mask_block`] chunk; also the rewind window
+/// of its clean fast path.
+const MASK_BLOCK_WORDS: usize = 32;
 
 /// An uncorrectable memory error surfaced to the core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +147,57 @@ impl FaultInjector {
         self.injected += count as u64;
         mask
     }
+
+    /// Flip masks for a run of consecutive `bits`-bit words, bit-identical
+    /// to calling [`mask`](Self::mask) once per element of `out`.
+    ///
+    /// The fast path exploits two facts: for a sub-64-bit word the
+    /// binomial count inside `mask` is exactly the number of consecutive
+    /// uniforms below `p_bit`, and at NTC-regime bit-error rates nearly
+    /// every block of words is fault-free. Uniform mantissas are drawn
+    /// block-wise and compared against the integer threshold of `p_bit`
+    /// (hit-identical to the scalar `uniform() < p` float compare); a
+    /// block that does contain a fault rewinds the generator and replays
+    /// through the scalar path, so positions and counters never diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or above 128.
+    pub fn mask_block(&mut self, bits: u32, out: &mut [u128]) {
+        assert!(bits > 0 && bits <= 128, "bits must be in 1..=128, got {bits}");
+        if self.p_bit <= 0.0 {
+            out.fill(0);
+            return;
+        }
+        if bits >= 64 || self.p_bit >= 1.0 {
+            // Wide words may route the binomial through its Gaussian
+            // branch and p = 1 skips the draws entirely; both stay on the
+            // scalar path.
+            for m in out.iter_mut() {
+                *m = self.mask(bits);
+            }
+            return;
+        }
+        let t = mantissa_threshold(self.p_bit);
+        let w = bits as usize;
+        let mut lanes = [0u64; 63 * MASK_BLOCK_WORDS];
+        let mut idx = 0;
+        while idx < out.len() {
+            let take = MASK_BLOCK_WORDS.min(out.len() - idx);
+            let checkpoint = self.src.clone();
+            let buf = &mut lanes[..w * take];
+            self.src.fill_uniform_bits(buf);
+            if buf.iter().any(|&u| u < t) {
+                self.src = checkpoint;
+                for m in out[idx..idx + take].iter_mut() {
+                    *m = self.mask(bits);
+                }
+            } else {
+                out[idx..idx + take].fill(0);
+            }
+            idx += take;
+        }
+    }
 }
 
 /// Unprotected scratchpad: bit flips silently corrupt data.
@@ -204,8 +260,13 @@ impl RawMemory {
     /// Panics unless `p_bit` is a probability.
     pub fn inject_retention_event(&mut self, p_bit: f64, seed: u64) -> u64 {
         let mut inj = FaultInjector::with_p(p_bit, seed);
-        for w in &mut self.data {
-            *w ^= inj.mask(32) as u32;
+        let mut masks = [0u128; MASK_BLOCK_WORDS];
+        for ws in self.data.chunks_mut(MASK_BLOCK_WORDS) {
+            let ms = &mut masks[..ws.len()];
+            inj.mask_block(32, ms);
+            for (w, &m) in ws.iter_mut().zip(ms.iter()) {
+                *w ^= m as u32;
+            }
         }
         inj.injected()
     }
@@ -329,8 +390,13 @@ impl SecdedMemory {
     /// Panics unless `p_bit` is a probability.
     pub fn inject_retention_event(&mut self, p_bit: f64, seed: u64) -> u64 {
         let mut inj = FaultInjector::with_p(p_bit, seed);
-        for w in &mut self.data {
-            *w ^= inj.mask(39) as u64;
+        let mut masks = [0u128; MASK_BLOCK_WORDS];
+        for ws in self.data.chunks_mut(MASK_BLOCK_WORDS) {
+            let ms = &mut masks[..ws.len()];
+            inj.mask_block(39, ms);
+            for (w, &m) in ws.iter_mut().zip(ms.iter()) {
+                *w ^= m as u64;
+            }
         }
         inj.injected()
     }
@@ -469,8 +535,13 @@ impl ProtectedMemory {
     pub fn inject_retention_event(&mut self, p_bit: f64, seed: u64) -> u64 {
         let bits = self.code.codeword_bits();
         let mut inj = FaultInjector::with_p(p_bit, seed);
-        for w in &mut self.data {
-            *w ^= inj.mask(bits) as u64;
+        let mut masks = [0u128; MASK_BLOCK_WORDS];
+        for ws in self.data.chunks_mut(MASK_BLOCK_WORDS) {
+            let ms = &mut masks[..ws.len()];
+            inj.mask_block(bits, ms);
+            for (w, &m) in ws.iter_mut().zip(ms.iter()) {
+                *w ^= m as u64;
+            }
         }
         inj.injected()
     }
@@ -525,6 +596,43 @@ impl DataPort for ProtectedMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mask_block_is_bit_identical_to_scalar_masks() {
+        // Rates spanning the rewind-never to rewind-often regimes, word
+        // widths covering the three memory backends plus the wide-word
+        // scalar fallback, and run lengths exercising partial blocks.
+        for &p in &[0.0, 1e-6, 2e-3, 0.08, 0.6, 1.0] {
+            for &bits in &[1u32, 32, 39, 57, 64, 128] {
+                for &n in &[1usize, 31, 32, 33, 200] {
+                    let mut scalar = FaultInjector::with_p(p, 17);
+                    let want: Vec<u128> = (0..n).map(|_| scalar.mask(bits)).collect();
+                    let mut batched = FaultInjector::with_p(p, 17);
+                    let mut got = vec![0u128; n];
+                    batched.mask_block(bits, &mut got);
+                    assert_eq!(got, want, "p = {p}, bits = {bits}, n = {n}");
+                    assert_eq!(batched.injected(), scalar.injected());
+                    // Both generators sit at the same stream position.
+                    assert_eq!(batched.mask(bits), scalar.mask(bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retention_events_are_reproducible_across_backends() {
+        // The chunked injection is a pure function of (p_bit, seed) — a
+        // second pass over identical contents flips identical bits.
+        let mut a = RawMemory::new(500);
+        let mut b = RawMemory::new(500);
+        assert_eq!(
+            a.inject_retention_event(1e-3, 9),
+            b.inject_retention_event(1e-3, 9)
+        );
+        for i in 0..500 {
+            assert_eq!(a.load(i), b.load(i));
+        }
+    }
 
     #[test]
     fn raw_memory_clean_round_trip() {

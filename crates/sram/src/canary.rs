@@ -84,6 +84,31 @@ impl CanaryArray {
         self.cells as f64 * self.p_canary(vdd)
     }
 
+    /// Batched [`p_canary`](Self::p_canary) over a supply grid,
+    /// bit-identical to the scalar method per element — the block
+    /// evaluator voltage-sweep consumers (controller calibration tables,
+    /// trip-curve plots) use instead of a per-point call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdds` and `out` differ in length.
+    pub fn p_canary_block(&self, vdds: &[f64], out: &mut [f64]) {
+        self.canary_law.p_bit_block(vdds, out);
+    }
+
+    /// Expected failing canaries at each supply of `vdds`, via
+    /// [`p_canary_block`](Self::p_canary_block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdds` and `out` differ in length.
+    pub fn expected_failures_block(&self, vdds: &[f64], out: &mut [f64]) {
+        self.p_canary_block(vdds, out);
+        for v in out.iter_mut() {
+            *v *= self.cells as f64;
+        }
+    }
+
     /// Samples one canary read-out (binomial draw).
     pub fn sample_failures(&self, vdd: f64, src: &mut Source) -> u32 {
         src.binomial(self.cells as u64, self.p_canary(vdd)) as u32
@@ -176,6 +201,25 @@ mod tests {
         let want = c.expected_failures(v);
         assert!(want > 0.5, "pick a voltage with measurable failures");
         assert!((mean / want - 1.0).abs() < 0.1, "mean {mean} vs expected {want}");
+    }
+
+    #[test]
+    fn block_evaluators_match_the_scalar_methods_bit_for_bit() {
+        let c = canary();
+        let grid: Vec<f64> = (0..300).map(|i| 0.30 + i as f64 * 0.002).collect();
+        let mut out = vec![0.0; grid.len()];
+        c.p_canary_block(&grid, &mut out);
+        for (&v, &p) in grid.iter().zip(&out) {
+            assert_eq!(p.to_bits(), c.p_canary(v).to_bits(), "p_canary at {v}");
+        }
+        c.expected_failures_block(&grid, &mut out);
+        for (&v, &e) in grid.iter().zip(&out) {
+            assert_eq!(
+                e.to_bits(),
+                c.expected_failures(v).to_bits(),
+                "expected_failures at {v}"
+            );
+        }
     }
 
     #[test]

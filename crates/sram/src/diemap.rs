@@ -164,14 +164,17 @@ impl DieMap {
 
         let mean = cfg.law.mean();
         let mut v_ret = Vec::with_capacity(cfg.rows * cfg.cols);
+        // Per-bit mismatch is drawn one row at a time through the batched
+        // block fill, which replays the scalar draw sequence bit-for-bit
+        // (the polar cache carries across rows), so the map is identical
+        // to the original per-bit `src.normal(0.0, s_rand)` loop.
+        let mut zs = vec![0.0f64; cfg.cols];
         for r in 0..cfg.rows {
             let yn = (r as f64 + 0.5) / cfg.rows as f64;
-            for c in 0..cfg.cols {
+            src.fill_standard_normal(&mut zs);
+            for (c, &z) in zs.iter().enumerate() {
                 let xn = (c as f64 + 0.5) / cfg.cols as f64;
-                let v = mean
-                    + die_offset
-                    + scale * pattern(xn, yn)
-                    + src.normal(0.0, s_rand);
+                let v = mean + die_offset + scale * pattern(xn, yn) + (0.0 + s_rand * z);
                 v_ret.push(v);
             }
         }
@@ -363,6 +366,53 @@ mod tests {
         let a = DieMap::synthesize(&cfg, &mut Source::seeded(5));
         let b = DieMap::synthesize(&cfg, &mut Source::seeded(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_filled_synthesis_replays_the_scalar_draw_sequence() {
+        // The row-wise block fill must consume exactly the draws the old
+        // per-bit loop did: one die-offset normal, three pattern
+        // coefficients, then rows×cols mismatch normals in row-major
+        // order. Replaying that scalar sequence reproduces every bit.
+        let cfg = small_cfg();
+        let die = DieMap::synthesize(&cfg, &mut Source::seeded(29));
+
+        let (s_sys, s_die, s_rand) = cfg.sigma_split();
+        let mut src = Source::seeded(29);
+        let die_offset = src.normal(0.0, s_die);
+        let gx = src.standard_normal();
+        let gy = src.standard_normal();
+        let gb = src.standard_normal();
+        let pattern = |xn: f64, yn: f64| {
+            let bowl = (xn - 0.5) * (xn - 0.5) + (yn - 0.5) * (yn - 0.5) - 1.0 / 6.0;
+            gx * (xn - 0.5) + gy * (yn - 0.5) + gb * bowl
+        };
+        let mut sum_sq = 0.0;
+        let probe = 16usize;
+        for i in 0..probe {
+            for j in 0..probe {
+                let v = pattern((i as f64 + 0.5) / probe as f64, (j as f64 + 0.5) / probe as f64);
+                sum_sq += v * v;
+            }
+        }
+        let rms = (sum_sq / (probe * probe) as f64).sqrt();
+        let scale = if rms > 0.0 { s_sys / rms } else { 0.0 };
+
+        for r in 0..cfg.rows() {
+            let yn = (r as f64 + 0.5) / cfg.rows() as f64;
+            for c in 0..cfg.cols() {
+                let xn = (c as f64 + 0.5) / cfg.cols() as f64;
+                let want = cfg.law().mean()
+                    + die_offset
+                    + scale * pattern(xn, yn)
+                    + src.normal(0.0, s_rand);
+                assert_eq!(
+                    die.v_ret(r, c).to_bits(),
+                    want.to_bits(),
+                    "bit ({r}, {c}) diverged from the scalar replay"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,8 +24,8 @@
 //! [`AccessLaw::cell_based_40nm`] uses constants reverse-engineered from the
 //! paper's Table 2 voltage solutions (see the method docs).
 
-use ntc_stats::exec::{mc_counter, mc_counter_shards};
-use ntc_stats::math::{inv_phi, ln_phi, phi};
+use ntc_stats::exec::{mc_gauss_exceed, mc_rate, mc_rate_shards};
+use ntc_stats::math::{inv_phi, ln_phi, phi, phi_block};
 use ntc_stats::mc::TrialCounter;
 use std::fmt;
 
@@ -173,13 +173,38 @@ impl RetentionLaw {
     /// draws (common random numbers: trial `t` draws the same cell at each
     /// point), so the estimated curve is exactly monotone in supply and
     /// point-to-point differences carry no resampling noise. Trials run
-    /// through [`ntc_stats::exec::mc_counter`], so each point's counter is
-    /// a pure function of `(trials, seed)` — bit-identical at any thread
-    /// count.
+    /// through the batched [`ntc_stats::exec::mc_gauss_exceed`] kernel,
+    /// which consumes the same per-shard random streams as the scalar
+    /// closure path, so each point's counter is a pure function of
+    /// `(trials, seed)` — bit-identical at any thread count and to the
+    /// pre-batching artifacts.
     pub fn mc_ber_sweep(&self, grid: &[f64], trials: u64, seed: u64) -> Vec<TrialCounter> {
         grid.iter()
-            .map(|&vdd| mc_counter(trials, seed, |src| src.normal(self.mean, self.sigma) > vdd))
+            .map(|&vdd| mc_gauss_exceed(trials, seed, self.mean, self.sigma, vdd))
             .collect()
+    }
+
+    /// Batched [`p_bit`](Self::p_bit) over a supply grid, bit-identical to
+    /// the scalar method per element.
+    ///
+    /// Routes through [`ntc_stats::math::phi_block`] so the Gaussian-CDF
+    /// central polynomial vectorizes across grid points; sweep consumers
+    /// (die maps, canary calibration) evaluate whole voltage grids in one
+    /// call instead of a probit per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdds` and `out` differ in length.
+    pub fn p_bit_block(&self, vdds: &[f64], out: &mut [f64]) {
+        assert_eq!(vdds.len(), out.len(), "p_bit_block length mismatch");
+        const CHUNK: usize = 256;
+        let mut xs = [0.0f64; CHUNK];
+        for (vs, os) in vdds.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            for (x, &v) in xs.iter_mut().zip(vs) {
+                *x = (self.mean - v) / self.sigma;
+            }
+            phi_block(&xs[..vs.len()], os);
+        }
     }
 
     /// The paper's Eq. 4 `d`-parameters `(d0, d1, d2)` equivalent to this
@@ -351,14 +376,31 @@ impl AccessLaw {
     /// As with [`RetentionLaw::mc_ber_sweep`], all grid points share the
     /// same uniform draws (trial `t` compares the same `u` against each
     /// point's `p_bit`), so the estimated curve is exactly monotone and
-    /// thread-count invariant.
+    /// thread-count invariant. Trials run through the batched
+    /// [`ntc_stats::exec::mc_rate`] kernel, whose integer-domain threshold
+    /// test is hit-identical to the scalar `uniform() < p` comparison on
+    /// the same streams.
     pub fn mc_ber_sweep(&self, grid: &[f64], trials: u64, seed: u64) -> Vec<TrialCounter> {
         grid.iter()
-            .map(|&vdd| {
-                let p = self.p_bit(vdd);
-                mc_counter(trials, seed, |src| src.uniform() < p)
-            })
+            .map(|&vdd| mc_rate(trials, seed, self.p_bit(vdd)))
             .collect()
+    }
+
+    /// Batched [`p_bit`](Self::p_bit) over a supply grid, bit-identical to
+    /// the scalar method per element.
+    ///
+    /// The power law itself is a scalar `powf` per point; this exists so
+    /// grid consumers can treat both failure laws uniformly (the retention
+    /// law's block evaluator is genuinely vectorized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdds` and `out` differ in length.
+    pub fn p_bit_block(&self, vdds: &[f64], out: &mut [f64]) {
+        assert_eq!(vdds.len(), out.len(), "p_bit_block length mismatch");
+        for (o, &v) in out.iter_mut().zip(vdds) {
+            *o = self.p_bit(v);
+        }
     }
 
     /// The per-shard counters behind one [`AccessLaw::mc_ber_sweep`]
@@ -370,8 +412,7 @@ impl AccessLaw {
     /// computed over these shards describe the sweep's own estimate,
     /// not a parallel re-measurement.
     pub fn mc_ber_shards(&self, vdd: f64, trials: u64, seed: u64) -> Vec<TrialCounter> {
-        let p = self.p_bit(vdd);
-        mc_counter_shards(trials, seed, |src| src.uniform() < p)
+        mc_rate_shards(trials, seed, self.p_bit(vdd))
     }
 
     /// Returns a copy with the knee shifted by `delta_v` volts — the hook
@@ -483,6 +524,52 @@ mod tests {
         }
         let sweep = acc.mc_ber_sweep(&[vdd], 100_000, 5);
         assert_eq!(merged, sweep[0], "shards describe the sweep's estimate");
+    }
+
+    #[test]
+    fn batched_sweeps_are_bit_identical_to_the_scalar_closure_path() {
+        use ntc_stats::exec::mc_counter;
+        let grid: Vec<f64> = (0..6).map(|i| 0.22 + i as f64 * 0.03).collect();
+
+        let ret = RetentionLaw::cell_based_40nm();
+        let batched = ret.mc_ber_sweep(&grid, 50_000, 11);
+        for (c, &vdd) in batched.iter().zip(&grid) {
+            let scalar = mc_counter(50_000, 11, |src| src.normal(ret.mean(), ret.sigma()) > vdd);
+            assert_eq!(*c, scalar, "retention point {vdd}");
+        }
+
+        let acc = AccessLaw::cell_based_40nm();
+        let batched = acc.mc_ber_sweep(&grid, 50_000, 5);
+        for (c, &vdd) in batched.iter().zip(&grid) {
+            let p = acc.p_bit(vdd);
+            let scalar = mc_counter(50_000, 5, |src| src.uniform() < p);
+            assert_eq!(*c, scalar, "access point {vdd}");
+        }
+    }
+
+    #[test]
+    fn p_bit_blocks_match_the_scalar_laws_bit_for_bit() {
+        let grid: Vec<f64> = (0..600).map(|i| 0.05 + i as f64 * 0.002).collect();
+        let mut out = vec![0.0; grid.len()];
+
+        let ret = RetentionLaw::cell_based_40nm();
+        ret.p_bit_block(&grid, &mut out);
+        for (&v, &p) in grid.iter().zip(&out) {
+            assert_eq!(p.to_bits(), ret.p_bit(v).to_bits(), "retention at {v}");
+        }
+
+        let acc = AccessLaw::cell_based_40nm();
+        acc.p_bit_block(&grid, &mut out);
+        for (&v, &p) in grid.iter().zip(&out) {
+            assert_eq!(p.to_bits(), acc.p_bit(v).to_bits(), "access at {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn p_bit_block_rejects_mismatched_lengths() {
+        let mut out = [0.0; 2];
+        RetentionLaw::cell_based_40nm().p_bit_block(&[0.3; 3], &mut out);
     }
 
     #[test]

@@ -20,12 +20,20 @@
 //!   halves disagree more than sampling noise allows — a seeding or
 //!   merge bug, not statistical fluctuation.
 //!
+//! [`TiltedConvergence`] is the importance-sampling counterpart for the
+//! exponential-tilt estimators in [`crate::mc::tilted`]: on top of the
+//! split-half layout check it reports the **effective sample size**
+//! `(Σw)²/Σw²` and the **max-weight share** — the diagnostics that catch
+//! a mis-tilted proposal whose few giant weights make a wrong estimate
+//! look converged.
+//!
 //! Diagnostics are *observability*, not results: experiments publish
 //! them through the `ntc-obs` gauge registry ([`Convergence::publish`])
 //! so they land in metrics sidecars and `repro report`, never in
 //! artifact JSON — artifact bytes are identical whether diagnostics run
 //! or not.
 
+use crate::mc::tilted::TiltedCounter;
 use crate::mc::{z_for_confidence, Moments, TrialCounter};
 
 /// Convergence summary of a sharded Monte-Carlo estimate.
@@ -162,6 +170,124 @@ impl Convergence {
     }
 }
 
+/// Convergence and weight-degeneracy summary of a sharded tilted
+/// importance-sampling estimate (see [`crate::mc::tilted`]).
+///
+/// Importance sampling has a failure mode plain Monte-Carlo does not:
+/// with a mis-chosen proposal the estimate *and its standard error* are
+/// both dominated by a handful of enormous weights, so the usual CI looks
+/// tight while being meaningless. The two fields that catch this are the
+/// **effective sample size** `ESS = (Σw)²/Σw²` — the number of equally
+/// weighted samples carrying the same information, the quantity the tail
+/// experiments gate on — and the **max-weight share**, the fraction of
+/// the total weight owned by the single largest weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TiltedConvergence {
+    /// Number of shards the estimate was reduced from.
+    pub shards: usize,
+    /// Total proposal draws across all shards.
+    pub samples: u64,
+    /// Draws that landed in the rare-event region.
+    pub hits: u64,
+    /// The merged importance-sampling estimate.
+    pub estimate: f64,
+    /// Standard error of the merged estimate.
+    pub std_error: f64,
+    /// Half-width of the 95 % confidence interval (normal approximation).
+    pub ci95_half_width: f64,
+    /// Effective sample size `(Σw)²/Σw²` of the weighted hits.
+    pub effective_samples: f64,
+    /// Share of the total weight carried by the largest single weight.
+    pub max_weight_share: f64,
+    /// Split-half z statistic over even/odd shards, as in [`Convergence`].
+    pub split_half_z: f64,
+}
+
+impl TiltedConvergence {
+    /// Diagnoses a tilted estimate from its per-shard accumulators (in
+    /// shard order, as returned by `mc::tilted::gauss_tail_shards` /
+    /// `binomial_tail_shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    #[must_use]
+    pub fn from_shards(shards: &[TiltedCounter]) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let mut all = TiltedCounter::new();
+        let mut even = TiltedCounter::new();
+        let mut odd = TiltedCounter::new();
+        for (i, c) in shards.iter().enumerate() {
+            all.merge(c);
+            if i % 2 == 0 {
+                even.merge(c);
+            } else {
+                odd.merge(c);
+            }
+        }
+        let se = all.std_error();
+        Self {
+            shards: shards.len(),
+            samples: all.trials(),
+            hits: all.hits(),
+            estimate: all.estimate(),
+            std_error: se,
+            ci95_half_width: z_for_confidence(0.95) * se,
+            effective_samples: all.effective_sample_size(),
+            max_weight_share: all.max_weight_share(),
+            split_half_z: split_z(
+                even.estimate(),
+                even.std_error(),
+                odd.estimate(),
+                odd.std_error(),
+            ),
+        }
+    }
+
+    /// Relative half-width of the 95 % CI (`ci95 / |estimate|`);
+    /// `f64::INFINITY` when the estimate is zero but the CI is not.
+    #[must_use]
+    pub fn relative_ci(&self) -> f64 {
+        if self.estimate != 0.0 {
+            self.ci95_half_width / self.estimate.abs()
+        } else if self.ci95_half_width == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the split-half check passes at the given z limit.
+    #[must_use]
+    pub fn split_half_ok(&self, z_limit: f64) -> bool {
+        self.split_half_z.abs() <= z_limit
+    }
+
+    /// Whether the weighted sample is trustworthy: at least `min_ess`
+    /// effective samples and no single weight owning more than
+    /// `max_share` of the total.
+    #[must_use]
+    pub fn weights_ok(&self, min_ess: f64, max_share: f64) -> bool {
+        self.effective_samples >= min_ess && self.max_weight_share <= max_share
+    }
+
+    /// Publishes this report as `ntc-obs` gauges under `prefix`
+    /// (`<prefix>.estimate`, `.std_error`, `.ci95`, `.rel_ci`,
+    /// `.effective_samples`, `.max_weight_share`, `.split_half_z`).
+    /// No-op while the observability layer is disabled; never touches
+    /// artifacts.
+    pub fn publish(&self, prefix: &str) {
+        ntc_obs::gauge_set(&format!("{prefix}.estimate"), self.estimate);
+        ntc_obs::gauge_set(&format!("{prefix}.std_error"), self.std_error);
+        ntc_obs::gauge_set(&format!("{prefix}.ci95"), self.ci95_half_width);
+        ntc_obs::gauge_set(&format!("{prefix}.rel_ci"), self.relative_ci());
+        ntc_obs::gauge_set(&format!("{prefix}.effective_samples"), self.effective_samples);
+        ntc_obs::gauge_set(&format!("{prefix}.max_weight_share"), self.max_weight_share);
+        ntc_obs::gauge_set(&format!("{prefix}.split_half_z"), self.split_half_z);
+    }
+}
+
 /// z statistic between two independent estimates; `0.0` when the
 /// combined standard error vanishes (degenerate halves carry no
 /// disagreement evidence).
@@ -236,6 +362,63 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn empty_shards_rejected() {
         let _ = Convergence::from_counters(&[]);
+    }
+
+    #[test]
+    fn tilted_diagnostics_summarize_a_deep_tail_run() {
+        use crate::math::phi;
+        use crate::mc::tilted::gauss_tail_shards;
+        let shards = gauss_tail_shards(40_000, 2014, 8.0);
+        let d = TiltedConvergence::from_shards(&shards);
+        assert_eq!(d.shards, 64);
+        assert_eq!(d.samples, 40_000);
+        assert!(d.hits > 15_000, "about half the tilted draws hit");
+        let truth = phi(-8.0);
+        assert!((d.estimate / truth - 1.0).abs() < 0.05, "estimate {}", d.estimate);
+        assert!(d.effective_samples > 1000.0, "ESS {}", d.effective_samples);
+        assert!(d.max_weight_share < 0.05, "share {}", d.max_weight_share);
+        assert!(d.weights_ok(1000.0, 0.05));
+        assert!(!d.weights_ok(d.effective_samples + 1.0, 0.05));
+        assert!(d.split_half_ok(4.0), "z = {}", d.split_half_z);
+        assert!(d.ci95_half_width > d.std_error);
+        assert!(d.relative_ci() < 0.1);
+    }
+
+    #[test]
+    fn tilted_diagnostics_flag_a_degenerate_weight() {
+        use crate::mc::tilted::TiltedCounter;
+        let mut a = TiltedCounter::new();
+        for _ in 0..100 {
+            a.record_hit(1e-12);
+        }
+        let mut b = TiltedCounter::new();
+        b.record_hit(1.0); // one weight owns the estimate
+        let d = TiltedConvergence::from_shards(&[a, b]);
+        assert!(d.effective_samples < 1.01, "ESS {}", d.effective_samples);
+        assert!(d.max_weight_share > 0.999);
+        assert!(!d.weights_ok(2.0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn tilted_empty_shards_rejected() {
+        let _ = TiltedConvergence::from_shards(&[]);
+    }
+
+    #[test]
+    fn tilted_publish_registers_gauges_when_enabled() {
+        use crate::mc::tilted::TiltedCounter;
+        ntc_obs::enable();
+        let mut c = TiltedCounter::new();
+        c.record_hit(0.5);
+        c.record_miss();
+        TiltedConvergence::from_shards(&[c]).publish("diag_test.tilted");
+        let snap = ntc_obs::metrics_snapshot();
+        match snap.get("diag_test.tilted.effective_samples") {
+            Some(ntc_obs::MetricValue::Gauge(g)) => assert!((g - 1.0).abs() < 1e-12),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        assert!(snap.get("diag_test.tilted.max_weight_share").is_some());
     }
 
     #[test]

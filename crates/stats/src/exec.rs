@@ -110,11 +110,15 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let mut outer = ntc_obs::span("exec.par_map");
-    outer.add_items(n as u64);
     if t <= 1 || n == 1 {
+        // Serial fall-through: no fan-out span, no thread scope — at an
+        // effective thread count of 1 the scaffolding would only cost
+        // time (the fig4 die-synthesis bench showed it as a 3 % parallel
+        // *slowdown* on single-core hosts).
         return (0..n).map(f).collect();
     }
+    let mut outer = ntc_obs::span("exec.par_map");
+    outer.add_items(n as u64);
     // Worker threads get their own span stacks; hand them the fan-out
     // span's id so the trace nests them under it.
     let parent = outer.id();
@@ -378,6 +382,112 @@ where
     })
 }
 
+// ---------------------------------------------------------------------
+// Batched (structure-of-arrays) Monte-Carlo kernels.
+//
+// Same fixed 64-shard layout, same per-shard `Source::stream(seed, i)`
+// streams, same in-order merge — only the inner loop changes from a
+// per-trial closure call to the block kernels in `crate::batch`. The
+// uniform-threshold and normal-threshold kernels are therefore
+// hit-for-hit identical to `mc_counter` with the equivalent closure; the
+// lane kernel swaps the per-shard generator for the counter-based lane
+// generator and is the fastest path where no legacy stream constrains
+// the draws.
+// ---------------------------------------------------------------------
+
+/// Batched Monte-Carlo rate estimate: counts `uniform() < p` over `trials`
+/// draws.
+///
+/// Bit-identical (same trials, same hits) to
+/// `mc_counter(trials, seed, |s| s.uniform() < p)` — the draw streams are
+/// unchanged; only the loop is restructured into SoA blocks. This is the
+/// kernel behind the Eq. 5 access-failure sweeps.
+pub fn mc_rate(trials: u64, seed: u64, p: f64) -> TrialCounter {
+    if trials == 0 {
+        return TrialCounter::new();
+    }
+    ntc_obs::counter_add("exec.mc.samples", trials);
+    par_mergeable(MC_SHARDS.min(trials as usize), |i| {
+        let (lo, hi) = shard_bounds(trials, MC_SHARDS.min(trials as usize), i);
+        let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
+        span.add_items(hi - lo);
+        let mut src = Source::stream(seed, i as u64);
+        let hits = crate::batch::count_uniform_below(&mut src, hi - lo, p);
+        let mut c = TrialCounter::new();
+        c.record_batch(hi - lo, hits);
+        c
+    })
+}
+
+/// Like [`mc_rate`] but returns the **per-shard** counters in shard order
+/// (for convergence diagnostics); an in-order merge equals [`mc_rate`].
+pub fn mc_rate_shards(trials: u64, seed: u64, p: f64) -> Vec<TrialCounter> {
+    if trials == 0 {
+        return Vec::new();
+    }
+    ntc_obs::counter_add("exec.mc.samples", trials);
+    let shards = MC_SHARDS.min(trials as usize);
+    par_map(shards, |i| {
+        let (lo, hi) = shard_bounds(trials, shards, i);
+        let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
+        span.add_items(hi - lo);
+        let mut src = Source::stream(seed, i as u64);
+        let hits = crate::batch::count_uniform_below(&mut src, hi - lo, p);
+        let mut c = TrialCounter::new();
+        c.record_batch(hi - lo, hits);
+        c
+    })
+}
+
+/// Batched Monte-Carlo exceedance estimate: counts
+/// `normal(mean, sigma) > threshold` over `trials` draws.
+///
+/// Bit-identical to
+/// `mc_counter(trials, seed, |s| s.normal(mean, sigma) > threshold)`.
+/// This is the kernel behind the Eq. 4 retention (probit) sweeps.
+pub fn mc_gauss_exceed(trials: u64, seed: u64, mean: f64, sigma: f64, threshold: f64) -> TrialCounter {
+    if trials == 0 {
+        return TrialCounter::new();
+    }
+    ntc_obs::counter_add("exec.mc.samples", trials);
+    par_mergeable(MC_SHARDS.min(trials as usize), |i| {
+        let (lo, hi) = shard_bounds(trials, MC_SHARDS.min(trials as usize), i);
+        let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
+        span.add_items(hi - lo);
+        let mut src = Source::stream(seed, i as u64);
+        let hits = crate::batch::count_normal_above(&mut src, hi - lo, mean, sigma, threshold);
+        let mut c = TrialCounter::new();
+        c.record_batch(hi - lo, hits);
+        c
+    })
+}
+
+/// Counter-based lane-kernel rate estimate: counts lane uniforms below
+/// `p` over `trials` fully data-parallel lanes.
+///
+/// Shard `i` uses `stream_key(seed, i)` and local lane indices, so the
+/// hit count is a pure function of `(trials, seed, p)` — parallel ≡
+/// serial at any thread count and any block size, like every other MC
+/// helper. The draws are *not* the xoshiro streams of [`mc_counter`]
+/// (that is the point: no loop-carried generator state), so this kernel
+/// is for new estimators, not for accelerating committed experiments.
+pub fn mc_lane_rate(trials: u64, seed: u64, p: f64) -> TrialCounter {
+    if trials == 0 {
+        return TrialCounter::new();
+    }
+    ntc_obs::counter_add("exec.mc.samples", trials);
+    par_mergeable(MC_SHARDS.min(trials as usize), |i| {
+        let (lo, hi) = shard_bounds(trials, MC_SHARDS.min(trials as usize), i);
+        let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
+        span.add_items(hi - lo);
+        let key = crate::rng::stream_key(seed, i as u64);
+        let hits = crate::batch::count_lane_below(key, 0, hi - lo, p);
+        let mut c = TrialCounter::new();
+        c.record_batch(hi - lo, hits);
+        c
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,5 +692,57 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _: Moments = par_mergeable(0, |_| Moments::new());
+    }
+
+    #[test]
+    fn mc_rate_is_bit_identical_to_the_scalar_closure_path() {
+        for (trials, p) in [(50_000u64, 0.01), (63, 0.5), (1, 0.999), (10_000, 0.0)] {
+            let batched = mc_rate(trials, 9, p);
+            let scalar = mc_counter(trials, 9, |s| s.uniform() < p);
+            assert_eq!(batched, scalar, "trials={trials}, p={p}");
+        }
+        assert_eq!(mc_rate(0, 9, 0.5), TrialCounter::new());
+    }
+
+    #[test]
+    fn mc_rate_shards_fold_to_mc_rate() {
+        let shards = mc_rate_shards(20_000, 31, 0.02);
+        assert_eq!(shards.len(), MC_SHARDS);
+        let mut folded = TrialCounter::new();
+        for c in &shards {
+            folded.merge(c);
+        }
+        assert_eq!(folded, mc_rate(20_000, 31, 0.02));
+        assert!(mc_rate_shards(0, 31, 0.02).is_empty());
+    }
+
+    #[test]
+    fn mc_gauss_exceed_is_bit_identical_to_the_scalar_closure_path() {
+        let (mean, sigma, thr) = (0.2, 0.03, 0.26);
+        let batched = mc_gauss_exceed(40_000, 4, mean, sigma, thr);
+        let scalar = mc_counter(40_000, 4, |s| s.normal(mean, sigma) > thr);
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn mc_lane_rate_matches_its_scalar_lane_reference() {
+        use crate::rng::{lane_uniform, stream_key};
+        let (trials, seed, p) = (30_000u64, 17u64, 0.05);
+        let shards = MC_SHARDS.min(trials as usize);
+        let mut reference = TrialCounter::new();
+        for i in 0..shards {
+            let (lo, hi) = shard_bounds(trials, shards, i);
+            let key = stream_key(seed, i as u64);
+            let hits = (0..hi - lo).filter(|&l| lane_uniform(key, l) < p).count() as u64;
+            let mut c = TrialCounter::new();
+            c.record_batch(hi - lo, hits);
+            reference.merge(&c);
+        }
+        let got = mc_lane_rate(trials, seed, p);
+        assert_eq!(got, reference);
+        let rate = got.estimate();
+        assert!((rate - p).abs() < 0.01, "rate {rate}");
+        // Pure function of (trials, seed, p): repeated runs agree exactly.
+        assert_eq!(mc_lane_rate(trials, seed, p), got);
     }
 }

@@ -8,6 +8,8 @@
 
 use crate::math::inv_phi;
 
+pub mod tilted;
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 ///
 /// # Example
@@ -260,17 +262,41 @@ pub fn percentile(data: &[f64], q: f64) -> f64 {
 /// Number of Monte-Carlo samples needed to resolve an event of probability
 /// `p` with relative standard error `rel_se` (e.g. `0.1` for 10 %).
 ///
+/// Extreme inputs saturate instead of misbehaving: `p ≤ 0` (an event no
+/// direct sampler can resolve) returns `u64::MAX`, `p ≥ 1` returns 1 (one
+/// sample suffices for a sure event), and requirement counts beyond
+/// `u64::MAX` — deep-tail `p` with tiny `rel_se` easily exceeds 2⁶⁴ —
+/// clamp to `u64::MAX` rather than wrapping. The result is always ≥ 1.
+///
+/// # Panics
+///
+/// Panics if `rel_se` is not a positive number or `p` is NaN.
+///
 /// # Example
 ///
 /// ```
 /// // A 1e-3 event at 10% relative error needs ~1e5 samples.
 /// let n = ntc_stats::mc::samples_for(1e-3, 0.1);
 /// assert!((9.0e4..=1.1e5).contains(&(n as f64)));
+/// // The paper's 1e-15 regime saturates — the answer is "not directly":
+/// assert_eq!(ntc_stats::mc::samples_for(1e-15, 1e-3), u64::MAX);
 /// ```
 pub fn samples_for(p: f64, rel_se: f64) -> u64 {
-    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    assert!(!p.is_nan(), "p must not be NaN");
     assert!(rel_se > 0.0, "rel_se must be positive");
-    ((1.0 - p) / (p * rel_se * rel_se)).ceil() as u64
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    if p >= 1.0 {
+        return 1;
+    }
+    let n = ((1.0 - p) / (p * rel_se * rel_se)).ceil();
+    if n >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        // Even a vanishing requirement still needs one sample.
+        (n as u64).max(1)
+    }
 }
 
 /// Two-sided z value for a confidence level (e.g. `0.95` → `1.96`).
@@ -397,6 +423,36 @@ mod tests {
     #[test]
     fn samples_for_sane() {
         assert!(samples_for(0.5, 0.01) < samples_for(1e-6, 0.01));
+    }
+
+    #[test]
+    fn samples_for_saturates_at_the_boundaries() {
+        // p at or below zero: unresolvable by direct sampling.
+        assert_eq!(samples_for(0.0, 0.1), u64::MAX);
+        assert_eq!(samples_for(-1.0, 0.1), u64::MAX);
+        // Sure events need exactly one sample.
+        assert_eq!(samples_for(1.0, 0.1), 1);
+        assert_eq!(samples_for(2.0, 0.1), 1);
+        // Deep tail with tight error: the f64 requirement exceeds 2^64
+        // and must clamp, not wrap.
+        assert_eq!(samples_for(1e-15, 1e-3), u64::MAX);
+        assert_eq!(samples_for(f64::MIN_POSITIVE, 1e-6), u64::MAX);
+        // Near-sure events still return at least one sample.
+        assert_eq!(samples_for(1.0 - 1e-16, 1000.0), 1);
+        // An ordinary interior point is unchanged by the hardening.
+        assert_eq!(samples_for(1e-3, 0.1), 99_900);
+    }
+
+    #[test]
+    #[should_panic(expected = "rel_se must be positive")]
+    fn samples_for_rejects_nonpositive_rel_se() {
+        samples_for(0.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must not be NaN")]
+    fn samples_for_rejects_nan_p() {
+        samples_for(f64::NAN, 0.1);
     }
 
     #[test]

@@ -91,17 +91,7 @@ impl Source {
     /// ensemble on one thread or sixteen. Streams are decorrelated by
     /// running the pair through a SplitMix64 finalizer before seeding.
     pub fn stream(seed: u64, index: u64) -> Source {
-        // Two finalizer rounds over (seed, index) so that neither
-        // consecutive seeds nor consecutive indices yield nearby states.
-        let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        z = z.wrapping_add(0x632B_E593_04D4_D1CD);
-        z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
-        z ^= z >> 33;
-        Source::seeded(z)
+        Source::seeded(stream_key(seed, index))
     }
 
     /// Derives an independent child stream, e.g. one per die or per module.
@@ -242,6 +232,43 @@ impl Source {
         }
     }
 
+    /// Fills `out` with consecutive uniform draws in `[0, 1)`.
+    ///
+    /// Bit-identical to calling [`Source::uniform`] once per slot — this is
+    /// the block-fill entry of the SoA Monte-Carlo kernels, so existing
+    /// consumers can switch to chunked evaluation without changing a single
+    /// random stream.
+    pub fn fill_uniform(&mut self, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.uniform();
+        }
+    }
+
+    /// Fills `out` with the 53-bit mantissas of consecutive uniform draws.
+    ///
+    /// [`Source::uniform`] is exactly `mantissa * 2⁻⁵³` with
+    /// `mantissa = next_u64() >> 11`, so threshold tests like
+    /// `uniform() < p` can be decided in the integer domain (see
+    /// `crate::batch::mantissa_threshold`) while consuming the identical
+    /// draw sequence.
+    pub fn fill_uniform_bits(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64() >> 11;
+        }
+    }
+
+    /// Fills `out` with consecutive standard normal draws.
+    ///
+    /// Bit-identical to calling [`Source::standard_normal`] once per slot:
+    /// the Marsaglia polar pair cache carries across fill boundaries, so
+    /// chunking a long normal sequence into blocks of any size reproduces
+    /// the unchunked stream exactly.
+    pub fn fill_standard_normal(&mut self, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.standard_normal();
+        }
+    }
+
     /// Draws `k` distinct indices from `[0, n)` (partial Fisher–Yates).
     ///
     /// # Panics
@@ -267,6 +294,47 @@ impl Source {
             all
         }
     }
+}
+
+/// The 64-bit key of the `index`-th sub-stream of `seed` — the mixing stage
+/// of [`Source::stream`], exposed for the per-lane counter generator.
+///
+/// Two finalizer rounds over `(seed, index)` so that neither consecutive
+/// seeds nor consecutive indices yield nearby keys. `Source::stream(seed, i)`
+/// is exactly `Source::seeded(stream_key(seed, i))`.
+pub fn stream_key(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z = z.wrapping_add(0x632B_E593_04D4_D1CD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^= z >> 33;
+    z
+}
+
+/// The `lane`-th raw 64-bit output of the SplitMix64 sequence seeded with
+/// `key` — a pure function of `(key, lane)` with **no loop-carried state**.
+///
+/// This is the lane generator of the structure-of-arrays kernels: because
+/// consecutive lanes are independent computations (unlike xoshiro, whose
+/// state update is a serial dependency chain), a block of lanes fills at
+/// superscalar throughput and the surrounding loop auto-vectorizes. The
+/// sequence is exactly what `splitmix64` would emit stepping from `key`,
+/// i.e. the same well-studied generator used to expand seeds.
+pub fn lane_u64(key: u64, lane: u64) -> u64 {
+    let mut z = key.wrapping_add(lane.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `lane`-th uniform draw in `[0, 1)` of the counter-based lane
+/// generator: the top 53 bits of [`lane_u64`] scaled by `2⁻⁵³`, matching
+/// the mantissa construction of [`Source::uniform`].
+pub fn lane_uniform(key: u64, lane: u64) -> f64 {
+    (lane_u64(key, lane) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 #[cfg(test)]
@@ -444,5 +512,86 @@ mod tests {
     #[should_panic(expected = "distinct indices")]
     fn distinct_indices_rejects_k_gt_n() {
         Source::seeded(0).distinct_indices(3, 4);
+    }
+
+    #[test]
+    fn fill_uniform_matches_scalar_draws_bit_for_bit() {
+        let mut scalar = Source::seeded(31);
+        let reference: Vec<u64> = (0..1000).map(|_| scalar.uniform().to_bits()).collect();
+        let mut block = Source::seeded(31);
+        let mut buf = vec![0.0f64; 1000];
+        // Uneven chunk sizes straddle every block boundary case.
+        let mut at = 0;
+        for len in [1usize, 7, 64, 128, 300, 500] {
+            block.fill_uniform(&mut buf[at..at + len]);
+            at += len;
+        }
+        assert_eq!(at, 1000);
+        let got: Vec<u64> = buf.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn fill_uniform_bits_are_the_uniform_mantissas() {
+        let mut scalar = Source::seeded(90);
+        let reference: Vec<f64> = (0..256).map(|_| scalar.uniform()).collect();
+        let mut block = Source::seeded(90);
+        let mut bits = vec![0u64; 256];
+        block.fill_uniform_bits(&mut bits);
+        for (m, u) in bits.iter().zip(&reference) {
+            assert_eq!((*m as f64 * (1.0 / (1u64 << 53) as f64)).to_bits(), u.to_bits());
+        }
+    }
+
+    #[test]
+    fn fill_standard_normal_carries_the_polar_cache_across_blocks() {
+        let mut scalar = Source::seeded(77);
+        let reference: Vec<u64> =
+            (0..601).map(|_| scalar.standard_normal().to_bits()).collect();
+        let mut block = Source::seeded(77);
+        let mut buf = vec![0.0f64; 601];
+        // Odd-length chunks force the pair cache to straddle boundaries.
+        let mut at = 0;
+        for len in [1usize, 3, 97, 200, 300] {
+            block.fill_standard_normal(&mut buf[at..at + len]);
+            at += len;
+        }
+        assert_eq!(at, 601);
+        let got: Vec<u64> = buf.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn stream_key_is_the_mixing_stage_of_stream() {
+        for (seed, index) in [(2014u64, 0u64), (7, 63), (u64::MAX, 1 << 40)] {
+            let mut via_key = Source::seeded(stream_key(seed, index));
+            let mut direct = Source::stream(seed, index);
+            for _ in 0..8 {
+                assert_eq!(via_key.uniform().to_bits(), direct.uniform().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lane_generator_is_splitmix64_from_the_key() {
+        let key = stream_key(5, 9);
+        let mut x = key;
+        for lane in 0..64u64 {
+            assert_eq!(lane_u64(key, lane), splitmix64(&mut x));
+        }
+    }
+
+    #[test]
+    fn lane_uniforms_are_pure_in_range_and_statistically_sane() {
+        let key = stream_key(2014, 3);
+        let m: Moments = (0..100_000).map(|i| lane_uniform(key, i)).collect();
+        assert!((m.mean() - 0.5).abs() < 0.005, "mean {}", m.mean());
+        assert!(
+            (m.std_dev() - (1.0f64 / 12.0).sqrt()).abs() < 0.005,
+            "sd {}",
+            m.std_dev()
+        );
+        assert!(m.min() >= 0.0 && m.max() < 1.0);
+        assert_eq!(lane_uniform(key, 17).to_bits(), lane_uniform(key, 17).to_bits());
     }
 }

@@ -1,13 +1,37 @@
 //! Property tests for the numerical substrate.
 
+use ntc_stats::batch::{
+    count_lane_below, count_normal_above_with_block, count_uniform_below_with_block,
+};
 use ntc_stats::dist::Gaussian;
-use ntc_stats::exec::{mc_counter, mc_moments, par_map_with_threads};
+use ntc_stats::exec::{
+    mc_counter, mc_moments, mc_rate, par_map_with_threads, shard_bounds, MC_SHARDS,
+};
 use ntc_stats::fit::{fit_power_law, linear_fit};
-use ntc_stats::math::{erf, erfc, inv_phi, ln_erfc, phi};
+use ntc_stats::math::{erf, erf_block, erfc, erfc_block, inv_phi, ln_erfc, phi, phi_block};
+use ntc_stats::mc::tilted::{gauss_tail, gauss_tail_shards, TiltedCounter};
 use ntc_stats::mc::{Moments, TrialCounter};
-use ntc_stats::rng::Source;
+use ntc_stats::rng::{lane_uniform, stream_key, Source};
 use ntc_stats::sweep::{linspace, logspace};
 use proptest::prelude::*;
+
+/// Fixed inputs pinning the scalar branch structure of the erf family:
+/// exact branch points, denormals, the underflow cutoffs and specials.
+/// Every bit-identity case appends these to its randomly drawn inputs.
+const ERF_SPECIALS: [f64; 12] = [
+    0.5,
+    -0.5,
+    0.0,
+    -0.0,
+    5e-324, // smallest denormal
+    -5e-324,
+    1.1125369292536007e-308, // mid-range denormal (MIN_POSITIVE / 2)
+    26.7,                    // erfc underflow boundary
+    27.0,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    f64::NAN,
+];
 
 proptest! {
     #[test]
@@ -210,6 +234,180 @@ proptest! {
         prop_assert!((left.variance() - right.variance()).abs() < 1e-7);
         prop_assert_eq!(left.min().to_bits(), right.min().to_bits());
         prop_assert_eq!(left.max().to_bits(), right.max().to_bits());
+    }
+
+    #[test]
+    fn erf_erfc_blocks_are_bit_identical_to_scalar(
+        wide in prop::collection::vec(-30.0f64..30.0, 1..200),
+        near in prop::collection::vec(-0.6f64..0.6, 1..60), // dense around ±0.5
+    ) {
+        let mut xs = wide;
+        xs.extend(near);
+        xs.extend(ERF_SPECIALS);
+        let mut out = vec![0.0f64; xs.len()];
+        erf_block(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            prop_assert_eq!(got.to_bits(), erf(x).to_bits(), "erf_block({})", x);
+        }
+        erfc_block(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            prop_assert_eq!(got.to_bits(), erfc(x).to_bits(), "erfc_block({})", x);
+        }
+        phi_block(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            prop_assert_eq!(got.to_bits(), phi(x).to_bits(), "phi_block({})", x);
+        }
+    }
+
+    #[test]
+    fn block_fills_reproduce_the_scalar_stream_at_any_chunking(
+        seed: u64,
+        cuts in prop::collection::vec(1usize..80, 1..8),
+    ) {
+        let n: usize = cuts.iter().sum();
+        let mut scalar = Source::seeded(seed);
+        let uniforms: Vec<u64> = (0..n).map(|_| scalar.uniform().to_bits()).collect();
+        let normals: Vec<u64> = (0..n).map(|_| scalar.standard_normal().to_bits()).collect();
+
+        let mut chunked = Source::seeded(seed);
+        let mut buf = vec![0.0f64; n];
+        let mut at = 0;
+        for &len in &cuts {
+            chunked.fill_uniform(&mut buf[at..at + len]);
+            at += len;
+        }
+        prop_assert_eq!(buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>(), uniforms);
+        let mut at = 0;
+        for &len in &cuts {
+            chunked.fill_standard_normal(&mut buf[at..at + len]);
+            at += len;
+        }
+        prop_assert_eq!(buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>(), normals);
+    }
+
+    #[test]
+    fn batched_uniform_counts_match_scalar_at_any_block_size(
+        seed: u64,
+        trials in 1u64..3000,
+        p in 0.0f64..=1.0,
+        block in 1usize..2100,
+    ) {
+        let mut scalar_src = Source::seeded(seed);
+        let scalar = (0..trials).filter(|_| scalar_src.uniform() < p).count() as u64;
+        let mut batch_src = Source::seeded(seed);
+        let batch = count_uniform_below_with_block(&mut batch_src, trials, p, block);
+        prop_assert_eq!(batch, scalar, "block = {}", block);
+        // Both consumed exactly `trials` draws.
+        prop_assert_eq!(
+            batch_src.uniform().to_bits(),
+            scalar_src.uniform().to_bits()
+        );
+    }
+
+    #[test]
+    fn batched_normal_counts_match_scalar_at_any_block_size(
+        seed: u64,
+        trials in 1u64..2000,
+        thr in -2.0f64..2.0,
+        block in 1usize..1100,
+    ) {
+        let (mean, sigma) = (0.2, 0.5);
+        let mut scalar_src = Source::seeded(seed);
+        let scalar =
+            (0..trials).filter(|_| scalar_src.normal(mean, sigma) > thr).count() as u64;
+        let mut batch_src = Source::seeded(seed);
+        let batch =
+            count_normal_above_with_block(&mut batch_src, trials, mean, sigma, thr, block);
+        prop_assert_eq!(batch, scalar, "block = {}", block);
+    }
+
+    #[test]
+    fn batched_mc_equals_scalar_mc_at_any_thread_count(
+        seed: u64,
+        trials in 1u64..20_000,
+        p in 0.0f64..0.2,
+        threads in 1usize..9,
+    ) {
+        // The sharded batch kernel must agree with the scalar closure
+        // path (same streams) AND with an explicitly thread-pinned
+        // replay of its own shard layout.
+        let batched = mc_rate(trials, seed, p);
+        let scalar = mc_counter(trials, seed, |s| s.uniform() < p);
+        prop_assert_eq!(batched, scalar);
+
+        let shards = MC_SHARDS.min(trials as usize);
+        let parts = par_map_with_threads(shards, threads, |i| {
+            let (lo, hi) = shard_bounds(trials, shards, i);
+            let mut src = Source::stream(seed, i as u64);
+            let mut c = TrialCounter::new();
+            c.record_batch(
+                hi - lo,
+                count_uniform_below_with_block(&mut src, hi - lo, p, 1024),
+            );
+            c
+        });
+        let mut folded = TrialCounter::new();
+        for c in &parts {
+            folded.merge(c);
+        }
+        prop_assert_eq!(folded, batched, "threads = {}", threads);
+    }
+
+    #[test]
+    fn lane_kernel_counts_are_partition_invariant(
+        key: u64,
+        hi in 1u64..40_000,
+        cut_frac in 0.0f64..1.0,
+        p in 0.0f64..0.3,
+    ) {
+        let cut = (hi as f64 * cut_frac) as u64;
+        let whole = count_lane_below(key, 0, hi, p);
+        let split = count_lane_below(key, 0, cut, p) + count_lane_below(key, cut, hi, p);
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn tilted_estimator_is_thread_invariant_and_folds_exactly(
+        seed: u64,
+        trials in 64u64..5_000,
+        threads in 1usize..9,
+    ) {
+        let t = 7.0;
+        let merged = gauss_tail(trials, seed, t);
+        // Thread-pinned replay of the same shard layout.
+        let shards = MC_SHARDS.min(trials as usize);
+        let parts = par_map_with_threads(shards, threads, |i| {
+            let (lo, hi) = shard_bounds(trials, shards, i);
+            let key = stream_key(seed, i as u64);
+            let mut acc = TiltedCounter::new();
+            for lane in 0..hi - lo {
+                let u = lane_uniform(key, lane);
+                if u > 0.5 {
+                    acc.record_hit((-0.5 * t * t - t * inv_phi(u)).exp());
+                } else {
+                    acc.record_miss();
+                }
+            }
+            acc
+        });
+        let mut folded = TiltedCounter::new();
+        for c in &parts {
+            folded.merge(c);
+        }
+        prop_assert_eq!(folded.trials(), merged.trials());
+        prop_assert_eq!(folded.hits(), merged.hits());
+        prop_assert_eq!(
+            folded.weight_sum().to_bits(),
+            merged.weight_sum().to_bits(),
+            "threads = {}",
+            threads
+        );
+        // And the shard vector folds to the merged result bit-for-bit.
+        let mut refold = TiltedCounter::new();
+        for c in gauss_tail_shards(trials, seed, t) {
+            refold.merge(&c);
+        }
+        prop_assert_eq!(refold.weight_sum().to_bits(), merged.weight_sum().to_bits());
     }
 
     #[test]
