@@ -4,10 +4,13 @@
 //! repro list [--verbose]                         # experiment ids (+anchors)
 //! repro run fig8 table2 --format text            # render artifacts
 //! repro run --all --format json --out artifacts/ # machine-readable dump
+//! repro run --all --store st --resume            # resume from checkpoints
+//! repro run --all --store st --shards 0..32      # worker: claim a range
 //! repro check --all                              # verify paper anchors
 //! repro diff baselines/quick --quick             # regression-diff a baseline
 //! repro report --all --html report.html          # self-contained HTML report
 //! repro serve --port 0                           # HTTP/1.1 JSON query service
+//! repro store stat --store st                    # store contents / gc
 //! ```
 //!
 //! `run` defaults to full paper-fidelity Monte-Carlo sizes (`--quick`
@@ -16,17 +19,27 @@
 //! artifact misses its paper band and ranks every anchor by its margin
 //! to the band edge. `diff` re-runs the experiments found in a previous
 //! `--out` directory and exits nonzero on any drift beyond tolerance.
+//!
+//! With `--store` (or `NTC_STORE`) every Monte-Carlo collective
+//! checkpoints its shards into the content-addressed store, so a killed
+//! run resumes where it left off, `--shards LO..HI` lets N worker
+//! processes split the 64-shard space via lock-file claims, and
+//! `--resume` serves already-published artifacts back byte-for-byte
+//! without recomputing.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ntc::artifact::diff::{diff_artifacts, Tolerance};
 use ntc::artifact::{Artifact, Check};
-use ntc::repro::{find_id, registry, run_one, ExperimentId, RunCtx};
+use ntc::repro::{find_id, registry, run_one, ExperimentId, RunCtx, Scale};
+use ntc::store::{ArtifactKey, Store};
 use ntc_bench::report::{render_report, ReportMeta};
 use ntc_bench::{csv_sections, render_csv, render_text};
 use ntc_obs::Provenance;
+use ntc_stats::exec::MC_SHARDS;
 
 /// Output format of `repro run`.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -38,13 +51,16 @@ enum Format {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  repro list [--verbose]\n  repro run <id...>|--all [--format text|csv|json] \
-         [--out <dir>] [--trace <file>] [--metrics <file>] [--quick] [--seed <n>]\n  \
+        "usage:\n  repro list [--verbose] [--store <dir>]\n  repro run <id...>|--all [--format text|csv|json] \
+         [--out <dir>] [--trace <file>] [--metrics <file>] [--quick|--scale quick|paper] [--seed <n>]\n            \
+         [--store <dir>] [--resume] [--shards <lo>..<hi>]\n  \
          repro check <id...>|--all [--quick] [--seed <n>]\n  \
          repro diff <baseline-dir> [<id...>] [--rtol <x>] [--quick] [--seed <n>]\n  \
          repro report <id...>|--all [--html <file>] [--quick] [--seed <n>]\n  \
          repro serve [--addr <ip>] [--port <n>] [--workers <n>] [--queue <n>] \
-         [--deadline-ms <n>] [--seed <n>]"
+         [--deadline-ms <n>] [--seed <n>] [--store <dir>] [--memo-cap <n>]\n  \
+         repro store stat|gc [--store <dir>]\n\
+         (--store defaults to the NTC_STORE environment variable when set)"
     );
     std::process::exit(2);
 }
@@ -62,6 +78,9 @@ struct Options {
     seed: Option<u64>,
     rtol: Option<f64>,
     verbose: bool,
+    store: Option<PathBuf>,
+    resume: bool,
+    shards: Option<(u32, u32)>,
 }
 
 /// Whether a subcommand needs an explicit experiment selection.
@@ -84,13 +103,30 @@ fn parse_options(args: &[String], selection: Selection) -> Options {
         seed: None,
         rtol: None,
         verbose: false,
+        store: None,
+        resume: false,
+        shards: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" => opts.all = true,
             "--quick" => opts.quick = true,
+            "--resume" => opts.resume = true,
             "--verbose" => opts.verbose = true,
+            "--scale" => match it.next().map(String::as_str) {
+                Some("quick") => opts.quick = true,
+                Some("paper") => opts.quick = false,
+                _ => usage(),
+            },
+            "--store" => match it.next() {
+                Some(dir) => opts.store = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--shards" => match it.next().and_then(|s| parse_shard_range(s)) {
+                Some(range) => opts.shards = Some(range),
+                None => usage(),
+            },
             "--format" => {
                 opts.format = match it.next().map(String::as_str) {
                     Some("text") => Format::Text,
@@ -135,6 +171,31 @@ fn parse_options(args: &[String], selection: Selection) -> Options {
         usage();
     }
     opts
+}
+
+/// Parses a worker shard claim, `"LO..HI"` over the fixed 64-shard
+/// layout. Half-open, nonempty, within `0..=MC_SHARDS`.
+fn parse_shard_range(s: &str) -> Option<(u32, u32)> {
+    let (lo, hi) = s.split_once("..")?;
+    let lo: u32 = lo.trim().parse().ok()?;
+    let hi: u32 = hi.trim().parse().ok()?;
+    (lo < hi && hi as usize <= MC_SHARDS).then_some((lo, hi))
+}
+
+/// Opens the store named by `--store` or the `NTC_STORE` environment
+/// variable, if either is present. Exits on an unusable root.
+fn open_store(opts: &Options) -> Option<Store> {
+    let root = opts
+        .store
+        .clone()
+        .or_else(|| std::env::var("NTC_STORE").ok().filter(|s| !s.is_empty()).map(PathBuf::from))?;
+    match Store::open(&root) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("cannot open store {}: {e}", root.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn context(opts: &Options) -> RunCtx {
@@ -199,6 +260,24 @@ fn emit(artifact: &Artifact, format: Format, out: Option<&Path>) {
     }
 }
 
+/// What the store holds for one experiment at `seed`: which scales have
+/// a published artifact, or how many shard checkpoints are banked.
+fn store_status(store: &Store, id: &str, seed: u64) -> String {
+    let mut cached: Vec<&str> = Vec::new();
+    for scale in [Scale::Paper, Scale::Quick] {
+        if store.has_artifact(&ArtifactKey::new(id, scale, seed)) {
+            cached.push(scale.name());
+        }
+    }
+    if !cached.is_empty() {
+        return format!("cached({})", cached.join(","));
+    }
+    match store.checkpoint_count(id) {
+        0 => "absent".to_string(),
+        n => format!("ckpt({n})"),
+    }
+}
+
 fn cmd_list(opts: &Options) -> ExitCode {
     if !opts.verbose {
         for e in registry() {
@@ -209,12 +288,52 @@ fn cmd_list(opts: &Options) -> ExitCode {
     // Anchor counts come from an actual (quick-scale) run: the registry
     // is the single source of truth, so nothing here can go stale.
     let ctx = RunCtx::quick();
-    println!("{:<22} {:<26} {:>7}  description", "experiment", "paper ref", "anchors");
+    let store = open_store(opts);
+    let seed = opts.seed.unwrap_or_else(|| ctx.seed());
+    match &store {
+        Some(_) => println!(
+            "{:<22} {:<26} {:>7}  {:<16} description",
+            "experiment", "paper ref", "anchors", "store"
+        ),
+        None => println!("{:<22} {:<26} {:>7}  description", "experiment", "paper ref", "anchors"),
+    }
     for e in registry() {
         let anchors = e.run(&ctx).checks().len();
-        println!("{:<22} {:<26} {:>7}  {}", e.id(), e.paper_ref(), anchors, e.description());
+        match &store {
+            Some(store) => println!(
+                "{:<22} {:<26} {:>7}  {:<16} {}",
+                e.id(),
+                e.paper_ref(),
+                anchors,
+                store_status(store, &e.id().to_string(), seed),
+                e.description()
+            ),
+            None => println!(
+                "{:<22} {:<26} {:>7}  {}",
+                e.id(),
+                e.paper_ref(),
+                anchors,
+                e.description()
+            ),
+        }
+    }
+    if let Some(store) = &store {
+        println!("\nstore {}: {}", store.root().display(), store.stat().summary());
     }
     ExitCode::SUCCESS
+}
+
+/// Emits an artifact served straight from the store. JSON output reuses
+/// the **stored bytes** (byte-identity is the contract, not a re-render);
+/// text/CSV render from the parsed artifact.
+fn emit_cached(artifact: &Artifact, json: &str, format: Format, out: Option<&Path>) {
+    match (format, out) {
+        (Format::Json, None) => print!("{json}"),
+        (Format::Json, Some(dir)) => {
+            write_file(&dir.join(format!("{}.json", artifact.id)), json);
+        }
+        _ => emit(artifact, format, out),
+    }
 }
 
 fn cmd_run(opts: &Options) -> ExitCode {
@@ -226,6 +345,27 @@ fn cmd_run(opts: &Options) -> ExitCode {
     if observing {
         ntc_obs::enable();
     }
+    let store = open_store(opts);
+    if (opts.resume || opts.shards.is_some()) && store.is_none() {
+        eprintln!("--resume/--shards need a store: pass --store <dir> or set NTC_STORE");
+        std::process::exit(2);
+    }
+    // Worker mode claims its shard range up front; overlapping claims
+    // (another live worker, or a stale lock from a killed one) refuse
+    // loudly rather than duplicating or corrupting work.
+    let claim = match (&store, opts.shards) {
+        (Some(store), Some((lo, hi))) => match store.claim_shards(lo, hi) {
+            Ok(claim) => Some(claim),
+            Err(e) => {
+                eprintln!("cannot claim shards {lo}..{hi}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => None,
+    };
+    if let Some(store) = &store {
+        ntc_stats::ckpt::install(Arc::new(store.sink(opts.shards)));
+    }
     if let Some(dir) = &opts.out {
         // Create the output directory (with parents) up front so a
         // long run never fails at write time.
@@ -234,11 +374,51 @@ fn cmd_run(opts: &Options) -> ExitCode {
             std::process::exit(1);
         });
     }
+    let mut partial = 0usize;
     for e in resolve(opts) {
+        let id = e.id().to_string();
+        // Checkpoints are scoped per experiment so `repro list --verbose`
+        // can attribute them and two experiments sharing a kernel+params
+        // never cross-pollinate.
+        ntc_stats::ckpt::set_scope(&id);
+        let key = ArtifactKey::new(&id, ctx.scale(), ctx.seed());
+        if opts.resume && opts.shards.is_none() {
+            if let Some(json) = store.as_ref().and_then(|s| s.get_artifact(&key)) {
+                if let Ok(artifact) = Artifact::from_json(&json) {
+                    emit_cached(&artifact, &json, opts.format, opts.out.as_deref());
+                    eprintln!("{id}: served from store ({})", key.file_name());
+                    continue;
+                }
+            }
+        }
         let started = Instant::now();
+        ntc_stats::ckpt::take_missing();
         let artifact = run_one(e.as_ref(), &ctx);
         let wall_ns = started.elapsed().as_nanos();
+        let missing = ntc_stats::ckpt::take_missing();
+        if let Some(claim) = &claim {
+            // Worker mode: the artifact folded identity values for every
+            // unclaimed shard, so it is deliberately discarded — only the
+            // checkpoints this worker owns are the product.
+            eprintln!(
+                "worker {}..{}: {id} checkpointed ({missing} shard results outside claim)",
+                claim.lo, claim.hi
+            );
+            continue;
+        }
+        if missing > 0 {
+            // Unreachable without a range-restricted sink, but never
+            // publish or emit a partial artifact if it does happen.
+            eprintln!("{id}: PARTIAL result ({missing} shards missing) — discarded");
+            partial += 1;
+            continue;
+        }
         emit(&artifact, opts.format, opts.out.as_deref());
+        if let Some(store) = &store {
+            if let Err(e) = store.put_artifact(&key, &artifact.to_json()) {
+                eprintln!("warning: could not publish {id} to store: {e}");
+            }
+        }
         if let Some(dir) = &opts.out {
             let provenance = Provenance {
                 experiment: artifact.id.clone(),
@@ -281,7 +461,16 @@ fn cmd_run(opts: &Options) -> ExitCode {
         write_file(path, &ntc_obs::chrome_trace(&ntc_obs::take_spans()));
         eprintln!("wrote trace {}", path.display());
     }
-    ExitCode::SUCCESS
+    ntc_stats::ckpt::set_scope("");
+    if store.is_some() {
+        ntc_stats::ckpt::uninstall();
+    }
+    drop(claim);
+    if partial > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_check(opts: &Options) -> ExitCode {
@@ -489,7 +678,22 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(seed) => config.seed = seed,
                 None => usage(),
             },
+            "--store" => match it.next() {
+                Some(dir) => config.store = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--memo-cap" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config.memo_cap = n,
+                None => usage(),
+            },
             _ => usage(),
+        }
+    }
+    if config.store.is_none() {
+        if let Ok(root) = std::env::var("NTC_STORE") {
+            if !root.is_empty() {
+                config.store = Some(PathBuf::from(root));
+            }
         }
     }
     config.addr = format!("{ip}:{port}");
@@ -515,6 +719,38 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_store(args: &[String]) -> ExitCode {
+    let Some((action, rest)) = args.split_first() else { usage() };
+    let opts = parse_options(rest, Selection::Optional);
+    let Some(store) = open_store(&opts) else {
+        eprintln!("no store: pass --store <dir> or set NTC_STORE");
+        std::process::exit(2);
+    };
+    match action.as_str() {
+        "stat" => {
+            let s = store.stat();
+            println!("store {}", store.root().display());
+            println!("version {}", ntc::store::store_version());
+            println!("artifacts {} bytes {}", s.artifacts, s.artifact_bytes);
+            println!("checkpoints {} bytes {}", s.checkpoints, s.checkpoint_bytes);
+            println!("locks {}", s.locks);
+            println!("tmp {}", s.tmp);
+            ExitCode::SUCCESS
+        }
+        "gc" => match store.gc() {
+            Ok(removed) => {
+                println!("removed: {}", removed.summary());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gc failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -524,6 +760,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&parse_options(&args[1..], Selection::Required)),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         _ => usage(),
     }
 }

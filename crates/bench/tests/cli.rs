@@ -211,3 +211,221 @@ fn serve_answers_http_on_an_os_assigned_port() {
     child.kill().expect("stop server");
     let _ = child.wait();
 }
+
+// ---------------------------------------------------------------------
+// Store / checkpoint / worker-mode tests. These all use `fig5` — the
+// cheap experiment whose Monte-Carlo collectives checkpoint (~40 ms at
+// quick scale) — and a per-test store directory, so they are
+// independent of each other and of any ambient NTC_STORE.
+// ---------------------------------------------------------------------
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Runs `repro` with NTC_STORE cleared so only explicit `--store` flags
+/// matter.
+fn repro_clean_env(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .env_remove("NTC_STORE")
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn interrupted_worker_then_resume_reproduces_the_uninterrupted_bytes() {
+    let base = scratch("store_resume_base");
+    write_baseline(&base, &["fig5"]);
+    let store = scratch("store_resume_store");
+    let store_s = store.to_str().unwrap();
+
+    // Phase 1: a worker claims half the shard space, checkpoints it and
+    // "dies" (exits). It must publish no artifact — its fold is partial.
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--store", store_s, "--shards", "0..32",
+    ]);
+    assert!(out.status.success(), "worker run failed: {out:?}");
+    assert!(stderr(&out).contains("checkpointed"), "{}", stderr(&out));
+    let artifacts: Vec<_> = std::fs::read_dir(store.join("artifacts")).unwrap().collect();
+    assert!(artifacts.is_empty(), "worker must not publish artifacts");
+    let n_ckpt = count_files(&store.join("checkpoints"));
+    assert!(n_ckpt > 0, "worker saved its claimed shards");
+
+    // Phase 2: `--resume` restores the saved half, computes the rest,
+    // and the merged artifact is byte-identical to the store-free run.
+    let dir2 = scratch("store_resume_out");
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--format", "json",
+        "--out", dir2.to_str().unwrap(), "--store", store_s, "--resume",
+    ]);
+    assert!(out.status.success(), "resume run failed: {out:?}");
+    let baseline = std::fs::read(base.join("fig5.json")).unwrap();
+    assert_eq!(
+        std::fs::read(dir2.join("fig5.json")).unwrap(),
+        baseline,
+        "resumed sweep must be byte-identical to the uninterrupted run"
+    );
+
+    // Phase 3: the artifact is now published; a second `--resume` serves
+    // it from the store without recomputing, still byte-for-byte.
+    let dir3 = scratch("store_resume_again");
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--format", "json",
+        "--out", dir3.to_str().unwrap(), "--store", store_s, "--resume",
+    ]);
+    assert!(out.status.success(), "second resume failed: {out:?}");
+    assert!(
+        stderr(&out).contains("served from store"),
+        "store hit announced: {}",
+        stderr(&out)
+    );
+    assert_eq!(std::fs::read(dir3.join("fig5.json")).unwrap(), baseline);
+}
+
+#[test]
+fn two_concurrent_workers_merge_to_the_single_process_bytes() {
+    let base = scratch("store_two_workers_base");
+    write_baseline(&base, &["fig5"]);
+    let store = scratch("store_two_workers_store");
+    let store_s = store.to_str().unwrap();
+
+    // Two genuinely concurrent processes claim disjoint halves of the
+    // 64-shard space against the same store.
+    let spawn = |range: &str| {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .env_remove("NTC_STORE")
+            .args(["run", "fig5", "--quick", "--store", store_s, "--shards", range])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("worker spawns")
+    };
+    let mut a = spawn("0..32");
+    let mut b = spawn("32..64");
+    assert!(a.wait().unwrap().success(), "worker A failed");
+    assert!(b.wait().unwrap().success(), "worker B failed");
+
+    // The merge restores both halves and must reproduce the
+    // single-process artifact exactly.
+    let out_dir = scratch("store_two_workers_out");
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--format", "json",
+        "--out", out_dir.to_str().unwrap(), "--store", store_s, "--resume",
+    ]);
+    assert!(out.status.success(), "merge run failed: {out:?}");
+    assert_eq!(
+        std::fs::read(out_dir.join("fig5.json")).unwrap(),
+        std::fs::read(base.join("fig5.json")).unwrap(),
+        "two-worker split must merge to the single-process bytes"
+    );
+}
+
+#[test]
+fn worker_mode_without_a_store_is_a_usage_error() {
+    let out = repro_clean_env(&["run", "fig5", "--quick", "--shards", "0..32"]);
+    assert_eq!(out.status.code(), Some(2), "usage error: {out:?}");
+    assert!(stderr(&out).contains("--store"), "{}", stderr(&out));
+}
+
+#[test]
+fn overlapping_shard_claims_are_refused() {
+    let store = scratch("store_claim_conflict");
+    // A live (or stale) claim over 16..48 already holds the lock.
+    std::fs::create_dir_all(store.join("locks")).unwrap();
+    std::fs::write(store.join("locks/claim-16-48.lock"), "pid 999999\n").unwrap();
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--store", store.to_str().unwrap(),
+        "--shards", "0..32",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "claim conflict exits 1: {out:?}");
+    assert!(stderr(&out).contains("cannot claim"), "{}", stderr(&out));
+    // A disjoint range is still claimable.
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--store", store.to_str().unwrap(),
+        "--shards", "48..64",
+    ]);
+    assert!(out.status.success(), "disjoint claim proceeds: {out:?}");
+}
+
+#[test]
+fn list_verbose_reports_store_status_per_experiment() {
+    let store = scratch("store_list_status");
+    let store_s = store.to_str().unwrap();
+    // Publish fig5 (quick) and leave fig6 untouched.
+    let out = repro_clean_env(&["run", "fig5", "--quick", "--store", store_s]);
+    assert!(out.status.success(), "{out:?}");
+    let out = repro_clean_env(&["list", "--verbose", "--store", store_s]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    let fig5_line = text.lines().find(|l| l.starts_with("fig5")).unwrap();
+    assert!(fig5_line.contains("cached(quick)"), "{fig5_line}");
+    let fig6_line = text.lines().find(|l| l.starts_with("fig6")).unwrap();
+    assert!(fig6_line.contains("absent"), "{fig6_line}");
+    assert!(text.contains("store "), "store summary line present: {text}");
+}
+
+#[test]
+fn store_stat_counts_and_gc_sweeps_corruption() {
+    let store = scratch("store_stat_gc");
+    let store_s = store.to_str().unwrap();
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--store", store_s, "--shards", "0..8",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = repro_clean_env(&["store", "stat", "--store", store_s]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("artifacts 0"), "worker published nothing: {text}");
+    let ckpts = count_files(&store.join("checkpoints"));
+    assert!(ckpts > 0, "stat sees checkpoints");
+    assert!(text.contains(&format!("checkpoints {ckpts}")), "{text}");
+
+    // Corrupt one checkpoint file; gc must sweep exactly that file (the
+    // integrity hash catches the flip) and leave the rest.
+    let victim = find_first_file(&store.join("checkpoints")).expect("a checkpoint exists");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&victim, bytes).unwrap();
+    let out = repro_clean_env(&["store", "gc", "--store", store_s]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("1 checkpoints"), "{}", stdout(&out));
+    assert_eq!(count_files(&store.join("checkpoints")), ckpts - 1);
+}
+
+/// Counts regular files under `dir`, recursively.
+fn count_files(dir: &Path) -> usize {
+    let mut n = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// The first regular file under `dir`, depth-first.
+fn find_first_file(dir: &Path) -> Option<PathBuf> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                return Some(p);
+            }
+        }
+    }
+    None
+}

@@ -51,6 +51,7 @@ pub mod repro;
 pub mod monitor;
 pub mod parallel;
 pub mod standby;
+pub mod store;
 
 pub use calculator::MemoryCalculator;
 pub use error::NtcError;

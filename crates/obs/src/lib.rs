@@ -36,6 +36,14 @@
 //! `sim.profile.cycles`, `repro.fig8`. Spans that work on one of the 64
 //! Monte-Carlo shards carry the shard index as a typed field rather
 //! than encoding it in the name.
+//!
+//! The checkpoint/store layer (DESIGN.md §16) publishes two families:
+//! `ckpt.*` for the shard checkpoint protocol (`ckpt.shards.restored` /
+//! `.computed` / `.skipped`, `ckpt.corrupt`, plus `ckpt.save` /
+//! `ckpt.restore` spans) and `store.*` for the content-addressed
+//! directory (`store.hit` / `.miss` / `.put` / `.corrupt` for artifacts,
+//! `store.ckpt.hit` / `.miss` / `.put` for checkpoints). `ntc-serve`'s
+//! bounded run-memo counts evictions in `serve.cache.evictions`.
 
 pub mod export;
 pub mod metrics;

@@ -30,9 +30,56 @@ use ntc::artifact::json::{parse, JsonValue};
 use ntc::artifact::{Artifact, Check};
 use ntc::error::NtcError;
 use ntc::repro::{find_id, registry, run_one, ExperimentId, RunCtx, Scale};
+use ntc::store::{ArtifactKey, Store};
 
 use crate::http::Request;
 use crate::query::{eval, Models, Query};
+
+type RunKey = (ExperimentId, Scale, u64);
+
+/// A size-capped LRU memo of completed runs. Recency is a monotonic
+/// use-stamp; eviction scans for the stale-est entry (the memo is a few
+/// dozen entries, so O(n) beats carrying a linked-list dependency).
+#[derive(Debug, Default)]
+struct BoundedMemo {
+    cap: usize,
+    tick: u64,
+    map: HashMap<RunKey, (Artifact, u64)>,
+}
+
+impl BoundedMemo {
+    fn new(cap: usize) -> Self {
+        BoundedMemo { cap, tick: 0, map: HashMap::new() }
+    }
+
+    fn get(&mut self, key: &RunKey) -> Option<Artifact> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(artifact, used)| {
+            *used = tick;
+            artifact.clone()
+        })
+    }
+
+    fn insert(&mut self, key: RunKey, artifact: Artifact) {
+        if self.cap == 0 {
+            return;
+        }
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(stale) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&stale);
+                ntc_obs::counter_add("serve.cache.evictions", 1);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, (artifact, self.tick));
+    }
+}
 
 /// Shared, thread-safe state behind all worker shards.
 #[derive(Debug)]
@@ -41,38 +88,66 @@ pub struct ServerState {
     pub models: Models,
     /// Seed used when a request does not carry one.
     pub default_seed: u64,
-    /// Completed experiment runs, keyed by (id, scale, seed).
-    run_memo: Mutex<HashMap<(ExperimentId, Scale, u64), Artifact>>,
+    /// Completed experiment runs, keyed by (id, scale, seed) — bounded,
+    /// LRU-evicted.
+    run_memo: Mutex<BoundedMemo>,
+    /// Durable artifact store consulted between the memo and compute.
+    store: Option<Store>,
 }
 
 impl ServerState {
-    /// Fresh state with empty memo tables.
+    /// Fresh state with empty memo tables, no store, default memo cap.
     pub fn new(default_seed: u64) -> Self {
+        Self::with_store(default_seed, None, 64)
+    }
+
+    /// Fresh state backed by an optional artifact store and a memo cap
+    /// (`0` = no in-memory memo; every repeat goes to the store).
+    pub fn with_store(default_seed: u64, store: Option<Store>, memo_cap: usize) -> Self {
         ServerState {
             models: Models::paper(),
             default_seed,
-            run_memo: Mutex::new(HashMap::new()),
+            run_memo: Mutex::new(BoundedMemo::new(memo_cap)),
+            store,
         }
     }
 
-    /// Runs `id` at (scale, seed), answering from the memo when this
-    /// exact run has completed before. Artifacts are pure functions of
-    /// (id, seed, scale), so a memoized answer is indistinguishable
-    /// from a fresh one — hits surface only in the
-    /// `serve.run.memo_hit` counter.
+    /// Runs `id` at (scale, seed), answering from the memo, then the
+    /// store, then actual compute — in that order. Artifacts are pure
+    /// functions of (id, seed, scale), so a cached answer is
+    /// indistinguishable from a fresh one; the source surfaces only in
+    /// counters (`serve.run.memo_hit`, `store.hit`/`store.miss`,
+    /// `serve.run.computed`).
     fn run_memoized(&self, id: ExperimentId, scale: Scale, seed: u64) -> Artifact {
-        if let Some(done) = self.run_memo.lock().expect("run memo lock").get(&(id, scale, seed)) {
+        let key = (id, scale, seed);
+        if let Some(done) = self.run_memo.lock().expect("run memo lock").get(&key) {
             ntc_obs::counter_add("serve.run.memo_hit", 1);
-            return done.clone();
+            return done;
         }
+        let store_key = ArtifactKey::new(&id.to_string(), scale, seed);
+        if let Some(store) = &self.store {
+            if let Some(json) = store.get_artifact(&store_key) {
+                if let Ok(artifact) = Artifact::from_json(&json) {
+                    self.run_memo
+                        .lock()
+                        .expect("run memo lock")
+                        .insert(key, artifact.clone());
+                    return artifact;
+                }
+            }
+        }
+        ntc_obs::counter_add("serve.run.computed", 1);
         let ctx = RunCtx::builder().seed(seed).scale(scale).build();
         let artifact = run_one(find_id(id).as_ref(), &ctx);
+        if let Some(store) = &self.store {
+            // Best-effort: a failed publish only costs a future compute.
+            let _ = store.put_artifact(&store_key, &artifact.to_json());
+        }
         self.run_memo
             .lock()
             .expect("run memo lock")
-            .entry((id, scale, seed))
-            .or_insert(artifact)
-            .clone()
+            .insert(key, artifact.clone());
+        artifact
     }
 }
 
@@ -318,8 +393,89 @@ mod tests {
         assert_eq!(body, direct.to_json(), "served artifact must be byte-identical");
     }
 
+    /// Tests asserting on the process-global `serve.run.computed` /
+    /// `store.*` counters (or exercising `/run` compute) hold this so
+    /// their deltas cannot interleave.
+    static RUN_COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn run_locked() -> std::sync::MutexGuard<'static, ()> {
+        RUN_COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A fresh store in a unique scratch directory.
+    fn scratch_store(name: &str) -> Store {
+        let dir = std::env::temp_dir()
+            .join(format!("ntc-serve-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(&dir).expect("scratch store opens")
+    }
+
+    #[test]
+    fn run_is_served_from_the_store_with_zero_compute() {
+        let _g = run_locked();
+        ntc_obs::enable();
+        // Memo cap 0 disables the in-memory layer entirely, so every
+        // repeat must go through the durable store.
+        let state =
+            ServerState::with_store(2014, Some(scratch_store("zero-compute")), 0);
+        let computed = ntc_obs::counter("serve.run.computed");
+        let store_hit = ntc_obs::counter("store.hit");
+        let req = post("/run", r#"{"id":"table2","scale":"quick"}"#);
+
+        let (status, first) = handle(&req, &state);
+        assert_eq!(status, 200);
+        let computed_after_first = computed.get();
+        let hits_after_first = store_hit.get();
+
+        let (status, second) = handle(&req, &state);
+        assert_eq!(status, 200);
+        assert_eq!(second, first, "store-served rerun must be byte-identical");
+        assert_eq!(
+            computed.get(),
+            computed_after_first,
+            "repeat /run must not compute"
+        );
+        assert_eq!(
+            store_hit.get(),
+            hits_after_first + 1,
+            "repeat /run is answered by the store"
+        );
+    }
+
+    #[test]
+    fn bounded_memo_evicts_least_recently_used_and_counts() {
+        ntc_obs::enable();
+        let evictions = ntc_obs::counter("serve.cache.evictions");
+        let before = evictions.get();
+        let ctx = RunCtx::builder().quick().build();
+        let artifact = run_one(find_id(ExperimentId::Fig6).as_ref(), &ctx);
+        let key = |seed: u64| (ExperimentId::Fig6, Scale::Quick, seed);
+
+        let mut memo = BoundedMemo::new(2);
+        memo.insert(key(1), artifact.clone());
+        memo.insert(key(2), artifact.clone());
+        // Touch key 1 so key 2 is the LRU entry when capacity overflows.
+        assert!(memo.get(&key(1)).is_some());
+        memo.insert(key(3), artifact.clone());
+        assert_eq!(evictions.get(), before + 1, "one eviction counted");
+        assert!(memo.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(memo.get(&key(1)).is_some());
+        assert!(memo.get(&key(3)).is_some());
+
+        // Re-inserting an existing key at capacity replaces in place.
+        memo.insert(key(1), artifact.clone());
+        assert_eq!(evictions.get(), before + 1, "no spurious eviction");
+
+        // Cap 0 stores nothing (and therefore never evicts).
+        let mut off = BoundedMemo::new(0);
+        off.insert(key(9), artifact);
+        assert!(off.get(&key(9)).is_none());
+        assert_eq!(evictions.get(), before + 1);
+    }
+
     #[test]
     fn run_returns_checks_and_memoizes() {
+        let _g = run_locked();
         let state = ServerState::new(2014);
         let req = post("/run", r#"{"id":"table2","scale":"quick"}"#);
         let (status, first) = handle(&req, &state);

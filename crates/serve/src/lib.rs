@@ -75,6 +75,14 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// Seed for runs that do not carry their own.
     pub seed: u64,
+    /// Content-addressed store root: `/run` and `/artifact` consult it
+    /// before computing and publish what they compute. `None` disables
+    /// the store (memo-only, the pre-store behavior).
+    pub store: Option<std::path::PathBuf>,
+    /// Cap on the in-memory `(id, scale, seed)` run memo; evictions are
+    /// LRU and counted in `serve.cache.evictions`. `0` disables the
+    /// memo entirely (every repeat is answered from the store, if any).
+    pub memo_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +93,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             deadline: Duration::from_secs(30),
             seed: 2014,
+            store: None,
+            memo_cap: 64,
         }
     }
 }
@@ -108,7 +118,14 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let workers = if config.workers == 0 { ntc_stats::exec::threads() } else { config.workers };
-        let state = Arc::new(ServerState::new(config.seed));
+        let store = match &config.store {
+            Some(root) => Some(
+                ntc::store::Store::open(root)
+                    .map_err(|e| io::Error::other(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let state = Arc::new(ServerState::with_store(config.seed, store, config.memo_cap));
         let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_capacity));
         let stop = Arc::new(AtomicBool::new(false));
 

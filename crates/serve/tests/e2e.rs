@@ -254,3 +254,37 @@ fn metrics_report_serve_counters() {
     }
     server.shutdown();
 }
+
+#[test]
+fn store_backed_server_survives_restart_with_identical_answers() {
+    // A store-backed server persists completed runs; a *new* server
+    // process (simulated by a second bind over the same store) answers
+    // the same /run from disk, byte-identically — the serve-side face
+    // of the checkpoint/artifact store.
+    let dir = std::env::temp_dir()
+        .join(format!("ntc-serve-e2e-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        workers: 2,
+        store: Some(dir.clone()),
+        memo_cap: 0, // force every repeat through the store
+        ..ServeConfig::default()
+    };
+
+    let first_body;
+    {
+        let server = Server::bind(config()).expect("bind with store");
+        let r = post(server.addr(), "/run", r#"{"id":"table1","scale":"quick"}"#);
+        assert_eq!(r.status, 200);
+        first_body = r.body;
+        server.shutdown();
+    }
+    {
+        let server = Server::bind(config()).expect("rebind over the same store");
+        let r = post(server.addr(), "/run", r#"{"id":"table1","scale":"quick"}"#);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, first_body, "restarted server serves identical bytes");
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -44,6 +44,7 @@
 //! assert_eq!(m.count(), 10_000);
 //! ```
 
+use crate::ckpt::{par_map_keyed, par_mergeable_keyed, CollectiveKey, Salt};
 use crate::hist::Histogram;
 use crate::mc::{Moments, TrialCounter};
 use crate::rng::Source;
@@ -407,7 +408,8 @@ pub fn mc_rate(trials: u64, seed: u64, p: f64) -> TrialCounter {
         return TrialCounter::new();
     }
     ntc_obs::counter_add("exec.mc.samples", trials);
-    par_mergeable(MC_SHARDS.min(trials as usize), |i| {
+    let key = CollectiveKey::new("mc_rate", seed, trials).with_salt(p.to_bits());
+    par_mergeable_keyed(&key, MC_SHARDS.min(trials as usize), |i| {
         let (lo, hi) = shard_bounds(trials, MC_SHARDS.min(trials as usize), i);
         let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
         span.add_items(hi - lo);
@@ -427,7 +429,10 @@ pub fn mc_rate_shards(trials: u64, seed: u64, p: f64) -> Vec<TrialCounter> {
     }
     ntc_obs::counter_add("exec.mc.samples", trials);
     let shards = MC_SHARDS.min(trials as usize);
-    par_map(shards, |i| {
+    // Same key as `mc_rate` on purpose: the shard layout and streams are
+    // identical, so both entry points share one set of checkpoints.
+    let key = CollectiveKey::new("mc_rate", seed, trials).with_salt(p.to_bits());
+    par_map_keyed(&key, shards, |i| {
         let (lo, hi) = shard_bounds(trials, shards, i);
         let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
         span.add_items(hi - lo);
@@ -450,7 +455,9 @@ pub fn mc_gauss_exceed(trials: u64, seed: u64, mean: f64, sigma: f64, threshold:
         return TrialCounter::new();
     }
     ntc_obs::counter_add("exec.mc.samples", trials);
-    par_mergeable(MC_SHARDS.min(trials as usize), |i| {
+    let key = CollectiveKey::new("mc_gauss_exceed", seed, trials)
+        .with_salt(Salt::new().f64(mean).f64(sigma).f64(threshold).finish());
+    par_mergeable_keyed(&key, MC_SHARDS.min(trials as usize), |i| {
         let (lo, hi) = shard_bounds(trials, MC_SHARDS.min(trials as usize), i);
         let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
         span.add_items(hi - lo);
@@ -476,7 +483,8 @@ pub fn mc_lane_rate(trials: u64, seed: u64, p: f64) -> TrialCounter {
         return TrialCounter::new();
     }
     ntc_obs::counter_add("exec.mc.samples", trials);
-    par_mergeable(MC_SHARDS.min(trials as usize), |i| {
+    let ck_key = CollectiveKey::new("mc_lane_rate", seed, trials).with_salt(p.to_bits());
+    par_mergeable_keyed(&ck_key, MC_SHARDS.min(trials as usize), |i| {
         let (lo, hi) = shard_bounds(trials, MC_SHARDS.min(trials as usize), i);
         let mut span = ntc_obs::span("exec.mc.shard").with_shard(i as u32);
         span.add_items(hi - lo);
@@ -696,6 +704,7 @@ mod tests {
 
     #[test]
     fn mc_rate_is_bit_identical_to_the_scalar_closure_path() {
+        let _g = crate::ckpt::test_guard();
         for (trials, p) in [(50_000u64, 0.01), (63, 0.5), (1, 0.999), (10_000, 0.0)] {
             let batched = mc_rate(trials, 9, p);
             let scalar = mc_counter(trials, 9, |s| s.uniform() < p);
@@ -706,6 +715,7 @@ mod tests {
 
     #[test]
     fn mc_rate_shards_fold_to_mc_rate() {
+        let _g = crate::ckpt::test_guard();
         let shards = mc_rate_shards(20_000, 31, 0.02);
         assert_eq!(shards.len(), MC_SHARDS);
         let mut folded = TrialCounter::new();
@@ -718,6 +728,7 @@ mod tests {
 
     #[test]
     fn mc_gauss_exceed_is_bit_identical_to_the_scalar_closure_path() {
+        let _g = crate::ckpt::test_guard();
         let (mean, sigma, thr) = (0.2, 0.03, 0.26);
         let batched = mc_gauss_exceed(40_000, 4, mean, sigma, thr);
         let scalar = mc_counter(40_000, 4, |s| s.normal(mean, sigma) > thr);
@@ -726,6 +737,7 @@ mod tests {
 
     #[test]
     fn mc_lane_rate_matches_its_scalar_lane_reference() {
+        let _g = crate::ckpt::test_guard();
         use crate::rng::{lane_uniform, stream_key};
         let (trials, seed, p) = (30_000u64, 17u64, 0.05);
         let shards = MC_SHARDS.min(trials as usize);

@@ -174,6 +174,47 @@ impl fmt::Display for Histogram {
     }
 }
 
+// Stable checkpoint form (see `crate::ckpt`): range bits, bin count, then
+// counts — exact, so a restored histogram merges bit-identically.
+impl crate::ckpt::Persist for Histogram {
+    fn persist_tag() -> &'static str {
+        "histogram"
+    }
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::ckpt::put_f64(out, self.lo);
+        crate::ckpt::put_f64(out, self.hi);
+        crate::ckpt::put_u64(out, self.bins.len() as u64);
+        for &b in &self.bins {
+            crate::ckpt::put_u64(out, b);
+        }
+        crate::ckpt::put_u64(out, self.underflow);
+        crate::ckpt::put_u64(out, self.overflow);
+    }
+    fn restore(bytes: &[u8]) -> Option<Self> {
+        let lo = crate::ckpt::get_f64(bytes, 0)?;
+        let hi = crate::ckpt::get_f64(bytes, 8)?;
+        let n = crate::ckpt::get_u64(bytes, 16)? as usize;
+        // NaN range bits must fail restore, hence the explicit ordering
+        // test rather than `lo >= hi`.
+        if n == 0
+            || bytes.len() != 24 + 8 * n + 16
+            || lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less)
+        {
+            return None;
+        }
+        let bins = (0..n)
+            .map(|i| crate::ckpt::get_u64(bytes, 24 + 8 * i))
+            .collect::<Option<Vec<u64>>>()?;
+        Some(Histogram {
+            lo,
+            hi,
+            bins,
+            underflow: crate::ckpt::get_u64(bytes, 24 + 8 * n)?,
+            overflow: crate::ckpt::get_u64(bytes, 32 + 8 * n)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

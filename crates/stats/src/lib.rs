@@ -27,6 +27,10 @@
 //! * [`diag`] — convergence diagnostics over the sharded Monte-Carlo
 //!   layout (standard error, CI half-width, split-half check) published
 //!   through `ntc-obs` gauges.
+//! * [`ckpt`] — per-shard checkpointing for the keyed collectives: stable
+//!   accumulator serialization ([`ckpt::Persist`]), integrity-hashed shard
+//!   envelopes, and a pluggable [`ckpt::CheckpointSink`] so interrupted or
+//!   multi-worker sweeps resume bit-identically.
 //! * [`hist`] — fixed-bin histograms with terminal rendering for the
 //!   figure binaries.
 //! * [`sweep`] — voltage sweep helpers (`linspace`, `logspace`).
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod ckpt;
 pub mod diag;
 pub mod dist;
 pub mod exec;

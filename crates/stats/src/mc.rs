@@ -305,6 +305,56 @@ pub fn z_for_confidence(level: f64) -> f64 {
     inv_phi(0.5 + level / 2.0)
 }
 
+// Stable checkpoint forms (see `crate::ckpt`): exact little-endian field
+// dumps, floats via `to_bits`, so restore is bit-identical and restored
+// shards merge exactly like computed ones.
+
+impl crate::ckpt::Persist for Moments {
+    fn persist_tag() -> &'static str {
+        "moments"
+    }
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::ckpt::put_u64(out, self.n);
+        crate::ckpt::put_f64(out, self.mean);
+        crate::ckpt::put_f64(out, self.m2);
+        crate::ckpt::put_f64(out, self.min);
+        crate::ckpt::put_f64(out, self.max);
+    }
+    fn restore(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 40 {
+            return None;
+        }
+        Some(Moments {
+            n: crate::ckpt::get_u64(bytes, 0)?,
+            mean: crate::ckpt::get_f64(bytes, 8)?,
+            m2: crate::ckpt::get_f64(bytes, 16)?,
+            min: crate::ckpt::get_f64(bytes, 24)?,
+            max: crate::ckpt::get_f64(bytes, 32)?,
+        })
+    }
+}
+
+impl crate::ckpt::Persist for TrialCounter {
+    fn persist_tag() -> &'static str {
+        "trials"
+    }
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::ckpt::put_u64(out, self.trials);
+        crate::ckpt::put_u64(out, self.hits);
+    }
+    fn restore(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        let trials = crate::ckpt::get_u64(bytes, 0)?;
+        let hits = crate::ckpt::get_u64(bytes, 8)?;
+        if hits > trials {
+            return None;
+        }
+        Some(TrialCounter { trials, hits })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,8 @@
 //! size `ESS = (Σw)²/Σw²` and the largest single-weight share.
 
 use crate::batch::BLOCK;
-use crate::exec::{par_map, shard_bounds, MC_SHARDS};
+use crate::ckpt::{par_map_keyed, CollectiveKey, Salt};
+use crate::exec::{shard_bounds, MC_SHARDS};
 use crate::math::inv_phi;
 use crate::rng::{lane_uniform, stream_key};
 
@@ -170,7 +171,8 @@ pub fn gauss_tail_shards(trials: u64, seed: u64, t: f64) -> Vec<TiltedCounter> {
     ntc_obs::counter_add("mc.tilted.samples", trials);
     let shards = MC_SHARDS.min(trials as usize);
     let neg_half_t2 = -0.5 * t * t;
-    par_map(shards, |i| {
+    let ck_key = CollectiveKey::new("gauss_tail", seed, trials).with_salt(t.to_bits());
+    par_map_keyed(&ck_key, shards, |i| {
         let (lo, hi) = shard_bounds(trials, shards, i);
         let mut span = ntc_obs::span("mc.tilted.shard").with_shard(i as u32);
         span.add_items(hi - lo);
@@ -282,7 +284,14 @@ pub fn binomial_tail_shards(
     let q = f64::from(k_min) / f64::from(n_bits);
     let (cdf, weights) = binomial_tables(n_bits, p_bit, q);
     let shards = MC_SHARDS.min(trials as usize);
-    par_map(shards, |i| {
+    let ck_key = CollectiveKey::new("binomial_tail", seed, trials).with_salt(
+        Salt::new()
+            .u64(u64::from(n_bits))
+            .f64(p_bit)
+            .u64(u64::from(k_min))
+            .finish(),
+    );
+    par_map_keyed(&ck_key, shards, |i| {
         let (lo, hi) = shard_bounds(trials, shards, i);
         let mut span = ntc_obs::span("mc.tilted.shard").with_shard(i as u32);
         span.add_items(hi - lo);
@@ -333,6 +342,48 @@ pub fn binomial_tail(trials: u64, seed: u64, n_bits: u32, p_bit: f64, k_min: u32
     acc
 }
 
+impl crate::exec::Mergeable for TiltedCounter {
+    fn identity(&self) -> Self {
+        TiltedCounter::new()
+    }
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+// Stable checkpoint form (see `crate::ckpt`): integer fields plus the
+// three weight sums as exact bit patterns, so restored shards fold to
+// the same estimate/ESS bits as computed ones.
+impl crate::ckpt::Persist for TiltedCounter {
+    fn persist_tag() -> &'static str {
+        "tilted"
+    }
+    fn persist(&self, out: &mut Vec<u8>) {
+        crate::ckpt::put_u64(out, self.trials);
+        crate::ckpt::put_u64(out, self.hits);
+        crate::ckpt::put_f64(out, self.sum_w);
+        crate::ckpt::put_f64(out, self.sum_w2);
+        crate::ckpt::put_f64(out, self.max_w);
+    }
+    fn restore(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 40 {
+            return None;
+        }
+        let trials = crate::ckpt::get_u64(bytes, 0)?;
+        let hits = crate::ckpt::get_u64(bytes, 8)?;
+        if hits > trials {
+            return None;
+        }
+        Some(TiltedCounter {
+            trials,
+            hits,
+            sum_w: crate::ckpt::get_f64(bytes, 16)?,
+            sum_w2: crate::ckpt::get_f64(bytes, 24)?,
+            max_w: crate::ckpt::get_f64(bytes, 32)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +427,7 @@ mod tests {
 
     #[test]
     fn gauss_tail_matches_closed_form_deep_in_the_tail() {
+        let _g = crate::ckpt::test_guard();
         // t = 7 and t = 8 bracket the paper's 1e-12…1e-15 regime.
         for t in [7.0, 8.0] {
             let est = gauss_tail(40_000, 2014, t);
@@ -395,6 +447,7 @@ mod tests {
 
     #[test]
     fn gauss_tail_is_deterministic_and_shards_fold_to_the_merged_result() {
+        let _g = crate::ckpt::test_guard();
         let shards = gauss_tail_shards(10_000, 5, 7.0);
         assert_eq!(shards.len(), MC_SHARDS);
         let mut folded = TiltedCounter::new();
@@ -413,6 +466,7 @@ mod tests {
 
     #[test]
     fn gauss_tail_matches_a_scalar_lane_replay() {
+        let _g = crate::ckpt::test_guard();
         // Replay the exact per-lane arithmetic without blocks: the shard
         // accumulators must agree bit for bit (block-size invariance of
         // the sequential in-lane-order fold).
@@ -445,6 +499,7 @@ mod tests {
 
     #[test]
     fn binomial_tail_matches_closed_form_at_1e15() {
+        let _g = crate::ckpt::test_guard();
         // The paper's SECDED word: 39 bits, ≥ 3 raw errors. At
         // p_bit ≈ 4.8e-7 the closed-form tail is ~1e-15 — eighteen
         // orders beyond direct sampling.
@@ -492,6 +547,7 @@ mod tests {
 
     #[test]
     fn binomial_tail_shards_fold_and_are_deterministic() {
+        let _g = crate::ckpt::test_guard();
         let shards = binomial_tail_shards(8_000, 3, 39, 1e-5, 3);
         let mut folded = TiltedCounter::new();
         for c in &shards {
@@ -504,12 +560,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "p_bit must be in (0, 1)")]
     fn binomial_tail_rejects_degenerate_p() {
+        let _g = crate::ckpt::test_guard();
         let _ = binomial_tail(100, 1, 39, 0.0, 3);
     }
 
     #[test]
     #[should_panic(expected = "tail threshold")]
     fn gauss_tail_rejects_nonpositive_threshold() {
+        let _g = crate::ckpt::test_guard();
         let _ = gauss_tail(100, 1, 0.0);
     }
 }

@@ -3,11 +3,13 @@
 use ntc_stats::batch::{
     count_lane_below, count_normal_above_with_block, count_uniform_below_with_block,
 };
+use ntc_stats::ckpt::{put_u64, Persist, ShardCheckpoint};
 use ntc_stats::dist::Gaussian;
 use ntc_stats::exec::{
     mc_counter, mc_moments, mc_rate, par_map_with_threads, shard_bounds, MC_SHARDS,
 };
 use ntc_stats::fit::{fit_power_law, linear_fit};
+use ntc_stats::hist::Histogram;
 use ntc_stats::math::{erf, erf_block, erfc, erfc_block, inv_phi, ln_erfc, phi, phi_block};
 use ntc_stats::mc::tilted::{gauss_tail, gauss_tail_shards, TiltedCounter};
 use ntc_stats::mc::{Moments, TrialCounter};
@@ -437,5 +439,144 @@ proptest! {
         fold_right.merge(&tail);
         prop_assert_eq!(fold_left.trials(), fold_right.trials());
         prop_assert_eq!(fold_left.hits(), fold_right.hits());
+    }
+}
+
+// Checkpoint-layer properties: the stable byte forms used by
+// `ntc_stats::ckpt` must round-trip every accumulator bit-exactly
+// (restored shards merge identically to computed ones), and the
+// envelope must reject any corruption rather than restore a wrong
+// accumulator.
+proptest! {
+    #[test]
+    fn moments_persist_roundtrip_is_bit_exact(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let m: Moments = xs.iter().copied().collect();
+        let bytes = m.persist_bytes();
+        let back = Moments::restore(&bytes).expect("restores");
+        prop_assert_eq!(back.persist_bytes(), bytes, "persist∘restore is identity");
+        prop_assert_eq!(back.count(), m.count());
+        prop_assert_eq!(back.mean().to_bits(), m.mean().to_bits());
+        prop_assert_eq!(back.variance().to_bits(), m.variance().to_bits());
+        prop_assert_eq!(back.min().to_bits(), m.min().to_bits());
+        prop_assert_eq!(back.max().to_bits(), m.max().to_bits());
+        // A restored accumulator merges exactly like the original: the
+        // property that makes resumed sweeps byte-identical.
+        let other: Moments = xs.iter().map(|x| -x).collect();
+        let mut merged_orig = m;
+        merged_orig.merge(&other);
+        let mut merged_back = back;
+        merged_back.merge(&other);
+        prop_assert_eq!(merged_back.persist_bytes(), merged_orig.persist_bytes());
+    }
+
+    #[test]
+    fn trial_counter_persist_roundtrip_and_validation(
+        trials in 0u64..u64::MAX / 2,
+        frac in 0.0f64..=1.0,
+    ) {
+        let hits = (trials as f64 * frac) as u64;
+        let mut c = TrialCounter::new();
+        c.record_batch(trials, hits.min(trials));
+        let bytes = c.persist_bytes();
+        let back = TrialCounter::restore(&bytes).expect("restores");
+        prop_assert_eq!(back, c);
+        // hits > trials cannot come from a real counter; restore must
+        // refuse rather than manufacture an impossible state.
+        let mut bad = Vec::new();
+        put_u64(&mut bad, trials);
+        put_u64(&mut bad, trials + 1);
+        prop_assert_eq!(TrialCounter::restore(&bad), None);
+    }
+
+    #[test]
+    fn histogram_persist_roundtrip_is_exact(
+        lo in -100.0f64..100.0,
+        span in 0.001f64..50.0,
+        nbins in 1usize..64,
+        xs in prop::collection::vec(-200.0f64..200.0, 0..100),
+    ) {
+        let mut h = Histogram::new(lo, lo + span, nbins);
+        h.extend(xs);
+        let back = Histogram::restore(&h.persist_bytes()).expect("restores");
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn tilted_counter_persist_roundtrip_is_bit_exact(
+        ws in prop::collection::vec(1e-30f64..10.0, 0..60),
+        misses in 0u64..1000,
+    ) {
+        let mut t = TiltedCounter::new();
+        for w in ws {
+            t.record_hit(w);
+        }
+        for _ in 0..misses.min(50) {
+            t.record_miss();
+        }
+        let bytes = t.persist_bytes();
+        let back = TiltedCounter::restore(&bytes).expect("restores");
+        prop_assert_eq!(back.persist_bytes(), bytes);
+        prop_assert_eq!(back.trials(), t.trials());
+        prop_assert_eq!(back.hits(), t.hits());
+        prop_assert_eq!(back.weight_sum().to_bits(), t.weight_sum().to_bits());
+    }
+
+    #[test]
+    fn checkpoint_envelope_rejects_any_single_byte_flip_or_truncation(
+        shard in 0u32..64,
+        seed: u64,
+        lo in 0u64..1_000_000,
+        len in 0u64..1_000_000,
+        payload in prop::collection::vec(any::<u8>(), 0..80),
+        flip_at: usize,
+        flip_bit in 0u8..8,
+        cut: usize,
+    ) {
+        let ck = ShardCheckpoint {
+            shard,
+            seed,
+            lo,
+            hi: lo + len,
+            tag: "trials".to_string(),
+            payload,
+        };
+        let good = ck.encode();
+        let decoded = ShardCheckpoint::decode(&good);
+        prop_assert_eq!(decoded.as_ref(), Some(&ck));
+        // Any single-bit flip anywhere in the envelope (identity fields,
+        // payload, or the integrity trailer itself) must fail to decode.
+        let mut flipped = good.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        prop_assert_eq!(ShardCheckpoint::decode(&flipped), None, "flip at {}", at);
+        // Any truncation must fail too (a torn write can shorten a file
+        // but the atomic-rename publication protocol never extends one).
+        let keep = cut % good.len();
+        prop_assert_eq!(ShardCheckpoint::decode(&good[..keep]), None, "cut to {}", keep);
+    }
+
+    #[test]
+    fn shard_bounds_with_fewer_trials_than_shards(
+        trials in 0u64..100,
+        shards in 1usize..200,
+    ) {
+        // Degenerate layouts (fewer trials than shards) must still
+        // partition [0, trials) exactly: the first `trials` shards get
+        // one trial each, the tail shards are empty — and checkpointing
+        // persists the empty shards too, so replay sees every shard.
+        let mut expected_lo = 0u64;
+        for i in 0..shards {
+            let (lo, hi) = shard_bounds(trials, shards, i);
+            prop_assert_eq!(lo, expected_lo, "contiguous at shard {}", i);
+            prop_assert!(hi >= lo);
+            prop_assert!(hi - lo <= trials.div_ceil(shards as u64).max(1));
+            if trials < shards as u64 {
+                prop_assert_eq!(hi - lo, u64::from((i as u64) < trials));
+            }
+            expected_lo = hi;
+        }
+        prop_assert_eq!(expected_lo, trials, "partition covers every trial");
     }
 }
