@@ -10,6 +10,7 @@
 //! repro diff baselines/quick --quick             # regression-diff a baseline
 //! repro report --all --html report.html          # self-contained HTML report
 //! repro serve --port 0                           # HTTP/1.1 JSON query service
+//! repro bench-serve --duration-secs 5            # open-loop serve load sweep
 //! repro store stat --store st                    # store contents / gc
 //! ```
 //!
@@ -58,7 +59,9 @@ fn usage() -> ! {
          repro diff <baseline-dir> [<id...>] [--rtol <x>] [--quick] [--seed <n>]\n  \
          repro report <id...>|--all [--html <file>] [--quick] [--seed <n>]\n  \
          repro serve [--addr <ip>] [--port <n>] [--workers <n>] [--queue <n>] \
-         [--deadline-ms <n>] [--seed <n>] [--store <dir>] [--memo-cap <n>]\n  \
+         [--deadline-ms <n>] [--seed <n>] [--store <dir>] [--memo-cap <n>] [--access-log <file>]\n  \
+         repro bench-serve [--rate <rps>] [--duration-secs <n>] [--connections <n>] \
+         [--run-every <n>] [--workers <n>] [--queue <n>] [--out <file>]\n  \
          repro store stat|gc [--store <dir>]\n\
          (--store defaults to the NTC_STORE environment variable when set)"
     );
@@ -686,6 +689,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(n) => config.memo_cap = n,
                 None => usage(),
             },
+            "--access-log" => match it.next() {
+                Some(file) => config.access_log = Some(PathBuf::from(file)),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -717,6 +724,194 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One quantile, rendered for the bench JSON (`null` when empty).
+fn q_json(latency: &ntc_obs::HistogramSnapshot, q: f64) -> String {
+    match latency.quantile(q) {
+        Some(v) => format!("{v:.4}"),
+        None => "null".to_string(),
+    }
+}
+
+fn cmd_bench_serve(args: &[String]) -> ExitCode {
+    let mut config = ntc_serve::ServeConfig::default();
+    let mut load = ntc_bench::loadgen::LoadConfig::default();
+    let mut rate: Option<f64> = None;
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rate" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(r) if r > 0.0 => rate = Some(r),
+                _ => usage(),
+            },
+            "--duration-secs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) if s > 0 => load.duration = std::time::Duration::from_secs(s),
+                _ => usage(),
+            },
+            "--connections" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => load.connections = n,
+                _ => usage(),
+            },
+            "--run-every" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => load.run_every = n,
+                None => usage(),
+            },
+            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.queue_capacity = n,
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(file) => out = PathBuf::from(file),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    // Spawn the server in-process on an OS-assigned port: same code
+    // path as `repro serve`, no subprocess management, and the metrics
+    // registry is still reachable over HTTP only — the generator reads
+    // /metrics like any external scraper would.
+    ntc_obs::enable();
+    config.addr = "127.0.0.1:0".to_string();
+    let server = match ntc_serve::Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind loopback server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    load.addr = server.addr();
+    eprintln!("bench-serve: server on http://{}", load.addr);
+
+    // Warm the /run memo and the query models once so the sweep
+    // measures steady state, not first-touch compute.
+    for i in [0u64, 1, 2, 3] {
+        let (method, target, body) = ntc_bench::loadgen::request_for(i, 1.max(load.run_every));
+        let _ = bench_http(load.addr, method, target, &body);
+    }
+
+    // Closed-loop capacity probe, then an open-loop sweep up to 10x.
+    let capacity = ntc_bench::loadgen::measure_capacity(
+        load.addr,
+        load.connections,
+        std::time::Duration::from_secs(1),
+        load.timeout,
+    );
+    eprintln!("bench-serve: measured capacity {capacity:.0} req/s");
+    let factors: Vec<f64> = match rate {
+        Some(_) => vec![1.0],
+        None => vec![0.25, 0.5, 1.0, 2.0, 10.0],
+    };
+
+    let mut sweep_rows = Vec::new();
+    let mut sustained: f64 = 0.0;
+    let mut all_clean = true;
+    for &factor in &factors {
+        load.rate = rate.unwrap_or_else(|| (capacity * factor).max(1.0));
+        let report = ntc_bench::loadgen::run_open_loop(&load);
+        eprintln!(
+            "bench-serve: x{factor} target {:.0} req/s -> {:.0} ok/s, {} x503, {} errors, p999 {} ms",
+            load.rate,
+            report.achieved_rps(),
+            report.rejected_503,
+            report.http_errors + report.transport_errors,
+            q_json(&report.latency, 0.999),
+        );
+        if report.clean() {
+            sustained = sustained.max(report.achieved_rps());
+        }
+        all_clean &= report.clean();
+        #[allow(clippy::cast_precision_loss)]
+        let err_rate = (report.http_errors + report.transport_errors) as f64
+            / (report.offered.max(1)) as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let reject_rate = report.rejected_503 as f64 / (report.offered.max(1)) as f64;
+        sweep_rows.push(format!(
+            "{{\"factor\":{factor},\"target_rps\":{:.2},\"offered\":{},\"ok\":{},\
+             \"rejected_503\":{},\"http_errors\":{},\"transport_errors\":{},\
+             \"achieved_rps\":{:.2},\"error_rate\":{err_rate:.6},\"reject_rate\":{reject_rate:.6},\
+             \"p50_ms\":{},\"p90_ms\":{},\"p99_ms\":{},\"p999_ms\":{}}}",
+            load.rate,
+            report.offered,
+            report.ok,
+            report.rejected_503,
+            report.http_errors,
+            report.transport_errors,
+            report.achieved_rps(),
+            q_json(&report.latency, 0.5),
+            q_json(&report.latency, 0.9),
+            q_json(&report.latency, 0.99),
+            q_json(&report.latency, 0.999),
+        ));
+    }
+
+    // Cache effectiveness, read from /metrics like any other scraper.
+    let metrics = bench_http(load.addr, "GET", "/metrics", "").unwrap_or_default().1;
+    let parsed = ntc::artifact::json::parse(&metrics).ok();
+    let counter = |name: &str| -> f64 {
+        parsed
+            .as_ref()
+            .and_then(|v| v.get(name))
+            .and_then(|m| m.get("value"))
+            .and_then(ntc::artifact::json::JsonValue::as_num)
+            .unwrap_or(0.0)
+    };
+    let store_lookups = counter("store.hit") + counter("store.miss");
+    let store_hit_rate =
+        if store_lookups > 0.0 { counter("store.hit") / store_lookups } else { 0.0 };
+    let runs = counter("serve.run.memo_hit") + counter("serve.run.computed");
+    let memo_hit_rate = if runs > 0.0 { counter("serve.run.memo_hit") / runs } else { 0.0 };
+
+    let json = format!(
+        "{{\"schema\":\"ntc.bench.serve.v1\",\"connections\":{},\"duration_secs\":{},\
+         \"run_every\":{},\"capacity_rps\":{capacity:.2},\"sustained_rps\":{sustained:.2},\
+         \"cache\":{{\"query_hit_rate\":{:.4},\"run_memo_hit_rate\":{memo_hit_rate:.4},\
+         \"store_hit_rate\":{store_hit_rate:.4}}},\"sweep\":[{}]}}\n",
+        load.connections,
+        load.duration.as_secs(),
+        load.run_every,
+        counter("serve.cache.hit_rate"),
+        sweep_rows.join(","),
+    );
+    write_file(&out, &json);
+    eprintln!("wrote {}", out.display());
+
+    server.shutdown();
+    if all_clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-serve: non-503 failures observed — failing");
+        ExitCode::FAILURE
+    }
+}
+
+/// One scripted request from the bench harness (status, body).
+fn bench_http(
+    addr: std::net::SocketAddr,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> Option<(u16, String)> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(60))).ok()?;
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text).ok()?;
+    let status = text.split(' ').nth(1).and_then(|s| s.parse().ok())?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Some((status, body))
 }
 
 fn cmd_store(args: &[String]) -> ExitCode {
@@ -760,6 +955,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&parse_options(&args[1..], Selection::Required)),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         _ => usage(),
     }

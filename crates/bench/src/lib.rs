@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loadgen;
 pub mod report;
 
 use ntc::artifact::{Artifact, Cell, Table};

@@ -1,0 +1,329 @@
+//! Open-loop HTTP load generator for the query service.
+//!
+//! The generator models an **open** system: request *i* is due at
+//! `start + i/rate` whether or not earlier requests have finished. Each
+//! client thread owns every `connections`-th arrival, sleeps until the
+//! intended send time, then connects, sends, and reads the full
+//! response. Latency is measured **from the intended send time**, not
+//! from when the socket call happened — a generator that has fallen
+//! behind schedule charges the backlog to the measurement instead of
+//! silently coordinating with the server's slowness (the
+//! coordinated-omission trap that makes closed-loop "p99"s look
+//! flattering under saturation).
+//!
+//! Latencies land in the same log-spaced buckets the server's own
+//! `serve.latency_ms` histogram uses ([`ntc_obs::latency_bounds_ms`]),
+//! so client-observed and server-observed distributions are directly
+//! comparable bucket for bucket.
+//!
+//! The workload is a deterministic function of the request index: a
+//! configurable fraction of `POST /run` (memoised experiment runs)
+//! mixed into a rotation of `POST /query` model evaluations, so cache
+//! layers see a realistic mix of hits and misses. 503s are **not**
+//! errors here — they are the server's overload contract working as
+//! designed and are accounted separately.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ntc_obs::{Histogram, HistogramSnapshot};
+
+/// One load-generation run against a serve endpoint.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Target arrival rate, requests per second.
+    pub rate: f64,
+    /// How long arrivals are generated for.
+    pub duration: Duration,
+    /// Client threads (each owns an interleaved slice of arrivals).
+    pub connections: usize,
+    /// Every `run_every`-th request is a `POST /run` (0 disables).
+    pub run_every: usize,
+    /// Per-request socket read timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7878)),
+            rate: 100.0,
+            duration: Duration::from_secs(2),
+            connections: 8,
+            run_every: 16,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome counters plus the latency distribution of one run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Arrivals the schedule called for.
+    pub offered: u64,
+    /// Requests that produced a parseable HTTP response.
+    pub answered: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// Intended-overload rejections (HTTP 503).
+    pub rejected_503: u64,
+    /// Any other non-2xx status — these are real failures.
+    pub http_errors: u64,
+    /// Connect/read/parse failures before a status line arrived.
+    pub transport_errors: u64,
+    /// Wall-clock span from first intended arrival to last response.
+    pub elapsed: Duration,
+    /// Client-observed latency (ms, from intended send time) in the
+    /// shared serve bucket layout.
+    pub latency: HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// Completed-2xx throughput actually achieved, requests/second.
+    #[must_use]
+    pub fn achieved_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.ok as f64 / secs
+            }
+        } else {
+            0.0
+        }
+    }
+
+    /// True when every response was either 2xx or an intended 503.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.http_errors == 0 && self.transport_errors == 0
+    }
+}
+
+/// The request for arrival index `i`: `(method, target, body)`.
+///
+/// Deterministic in `i` so re-runs offer the identical stream: every
+/// `run_every`-th arrival re-runs a quick-scale experiment (memoised
+/// server-side after the first), the rest rotate through the three
+/// query kinds over a small grid of operating points.
+#[must_use]
+pub fn request_for(i: u64, run_every: usize) -> (&'static str, &'static str, String) {
+    if run_every > 0 && i.is_multiple_of(run_every as u64) {
+        return ("POST", "/run", r#"{"id":"table2","scale":"quick"}"#.to_string());
+    }
+    match i % 3 {
+        0 => {
+            let vdd = 0.5 + 0.05 * ((i / 3) % 7) as f64;
+            ("POST", "/query", format!(r#"{{"kind":"energy","model":"cots_40nm","vdd":{vdd:.2}}}"#))
+        }
+        1 => {
+            let vdd = 0.3 + 0.01 * ((i / 3) % 5) as f64;
+            (
+                "POST",
+                "/query",
+                format!(
+                    r#"{{"kind":"ber","law":"retention","memory":"cell_based_65nm","vdd":{vdd:.2}}}"#
+                ),
+            )
+        }
+        _ => {
+            let f_hz = [290e3, 1e6, 11.6e6][(i / 3) as usize % 3];
+            ("POST", "/query", format!(r#"{{"kind":"vmin","scheme":"ocean","frequency_hz":{f_hz}}}"#))
+        }
+    }
+}
+
+/// Sends one request on a fresh connection and returns the HTTP status,
+/// or `None` on a transport failure.
+fn send_one(
+    addr: SocketAddr,
+    timeout: Duration,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_nodelay(true).ok();
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text).ok()?;
+    text.split(' ').nth(1).and_then(|s| s.parse().ok())
+}
+
+/// Runs one open-loop measurement and blocks until every scheduled
+/// arrival has been resolved (sent and answered, or failed).
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive or `connections` is zero.
+#[must_use]
+pub fn run_open_loop(config: &LoadConfig) -> LoadReport {
+    assert!(config.rate > 0.0, "rate must be positive");
+    assert!(config.connections > 0, "need at least one connection");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let offered = (config.rate * config.duration.as_secs_f64()).floor().max(1.0) as u64;
+
+    let hist = Arc::new(Histogram::new(ntc_obs::latency_bounds_ms()));
+    let ok = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let http_errors = Arc::new(AtomicU64::new(0));
+    let transport_errors = Arc::new(AtomicU64::new(0));
+    let answered = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now() + Duration::from_millis(20);
+    let workers: Vec<_> = (0..config.connections)
+        .map(|t| {
+            let config = config.clone();
+            let hist = Arc::clone(&hist);
+            let ok = Arc::clone(&ok);
+            let rejected = Arc::clone(&rejected);
+            let http_errors = Arc::clone(&http_errors);
+            let transport_errors = Arc::clone(&transport_errors);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let mut i = t as u64;
+                while i < offered {
+                    #[allow(clippy::cast_precision_loss)]
+                    let intended = start + Duration::from_secs_f64(i as f64 / config.rate);
+                    // Sleep only when ahead of schedule; when behind,
+                    // send immediately and let the lateness show up in
+                    // the latency sample (coordinated-omission-safe).
+                    let now = Instant::now();
+                    if intended > now {
+                        std::thread::sleep(intended - now);
+                    }
+                    let (method, target, body) = request_for(i, config.run_every);
+                    let status = send_one(config.addr, config.timeout, method, target, &body);
+                    let latency_ms = intended.elapsed().as_secs_f64() * 1e3;
+                    match status {
+                        Some(s) => {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                            hist.record(latency_ms);
+                            match s {
+                                200..=299 => {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                }
+                                503 => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    http_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        None => {
+                            transport_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += config.connections as u64;
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = start.elapsed();
+    LoadReport {
+        offered,
+        answered: answered.load(Ordering::Relaxed),
+        ok: ok.load(Ordering::Relaxed),
+        rejected_503: rejected.load(Ordering::Relaxed),
+        http_errors: http_errors.load(Ordering::Relaxed),
+        transport_errors: transport_errors.load(Ordering::Relaxed),
+        elapsed,
+        latency: hist.snapshot(),
+    }
+}
+
+/// Measures sustainable capacity with a short **closed-loop** probe:
+/// `connections` threads issue back-to-back queries for `window` and
+/// the completion rate is the capacity estimate. Closed loop is the
+/// right tool *here* — we want the server's service rate, not a latency
+/// distribution.
+#[must_use]
+pub fn measure_capacity(
+    addr: SocketAddr,
+    connections: usize,
+    window: Duration,
+    timeout: Duration,
+) -> f64 {
+    let done = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let probes: Vec<_> = (0..connections.max(1))
+        .map(|t| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut i = 10_000 * (t as u64 + 1) + 1; // skip /run arrivals
+                while start.elapsed() < window {
+                    let (method, target, body) = request_for(i, 0);
+                    if send_one(addr, timeout, method, target, &body) == Some(200) {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    for p in probes {
+        let _ = p.join();
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    {
+        done.load(Ordering::Relaxed) as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_in_the_index() {
+        for i in 0..64 {
+            assert_eq!(request_for(i, 16), request_for(i, 16));
+        }
+        let (_, target, _) = request_for(0, 16);
+        assert_eq!(target, "/run");
+        let (_, target, _) = request_for(0, 0);
+        assert_eq!(target, "/query", "run_every=0 disables /run arrivals");
+    }
+
+    #[test]
+    fn workload_bodies_are_json() {
+        for i in 0..48 {
+            let (method, _, body) = request_for(i, 8);
+            assert_eq!(method, "POST");
+            assert!(ntc::artifact::json::parse(&body).is_ok(), "bad body: {body}");
+        }
+    }
+
+    #[test]
+    fn report_flags_http_errors_as_unclean() {
+        let snap = Histogram::new(ntc_obs::latency_bounds_ms()).snapshot();
+        let mut report = LoadReport {
+            offered: 10,
+            answered: 10,
+            ok: 9,
+            rejected_503: 1,
+            http_errors: 0,
+            transport_errors: 0,
+            elapsed: Duration::from_secs(1),
+            latency: snap,
+        };
+        assert!(report.clean(), "503s alone are intended overload, not failure");
+        report.http_errors = 1;
+        assert!(!report.clean());
+    }
+}

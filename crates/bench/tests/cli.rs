@@ -429,3 +429,44 @@ fn find_first_file(dir: &Path) -> Option<PathBuf> {
     }
     None
 }
+
+#[test]
+fn bench_serve_smoke_writes_a_clean_report() {
+    let dir = scratch("bench-serve-smoke");
+    let out_path = dir.join("BENCH_serve.json");
+    let out = repro(&[
+        "bench-serve",
+        "--rate",
+        "25",
+        "--duration-secs",
+        "1",
+        "--connections",
+        "4",
+        "--run-every",
+        "8",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "bench-serve smoke must see no non-503 failures: {}",
+        stderr(&out)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("BENCH_serve.json written");
+    let report = ntc::artifact::json::parse(&text).expect("report is JSON");
+    assert_eq!(
+        report.get("schema").and_then(ntc::artifact::json::JsonValue::as_str),
+        Some("ntc.bench.serve.v1")
+    );
+    assert!(report.get("capacity_rps").is_some());
+    assert!(report.get("sustained_rps").is_some());
+    assert!(report.get("cache").and_then(|c| c.get("query_hit_rate")).is_some());
+    let sweep = report
+        .get("sweep")
+        .and_then(ntc::artifact::json::JsonValue::as_arr)
+        .expect("sweep array");
+    assert_eq!(sweep.len(), 1, "--rate pins the sweep to one point");
+    for key in ["p50_ms", "p90_ms", "p99_ms", "p999_ms", "rejected_503", "error_rate"] {
+        assert!(sweep[0].get(key).is_some(), "sweep rows carry {key}: {text}");
+    }
+}

@@ -67,6 +67,9 @@ fn chrome_event(s: &SpanRecord) -> String {
     if let Some(shard) = s.shard {
         let _ = write!(args, ",\"shard\":{shard}");
     }
+    if let Some(req) = s.req {
+        let _ = write!(args, ",\"req\":{req}");
+    }
     if s.items > 0 {
         let _ = write!(args, ",\"items\":{}", s.items);
         if let Some(ips) = s.items_per_sec() {
@@ -107,10 +110,11 @@ fn metric_value_json(v: &MetricValue) -> String {
             format!("{{\"type\":\"gauge\",\"value\":{}}}", json_f64(*g))
         }
         MetricValue::Histogram(h) => format!(
-            "{{\"type\":\"histogram\",\"bounds\":{},\"buckets\":{},\"count\":{},\"ignored\":{}}}",
+            "{{\"type\":\"histogram\",\"bounds\":{},\"buckets\":{},\"count\":{},\"sum\":{},\"ignored\":{}}}",
             json_f64_list(&h.bounds),
             json_u64_list(&h.buckets),
             h.count(),
+            json_f64(h.sum),
             h.ignored
         ),
     }
@@ -138,6 +142,104 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Rewrites a metric name as a Prometheus metric name: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_` (so `serve.latency_ms` →
+/// `serve_latency_ms`), with a leading `_` prepended when the first
+/// character would otherwise be a digit. Distinct dotted names that
+/// collide after rewriting would both be emitted; the workspace's
+/// dotted vocabulary (DESIGN.md §12) has no such pair.
+#[must_use]
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || c == ':' || (c.is_ascii_digit() && i > 0) {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n` — the exposition-format rules).
+#[must_use]
+pub fn prom_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a Prometheus sample value (`NaN`, `+Inf`,
+/// `-Inf` spellings for non-finite values).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` lines, counters suffixed `_total`,
+/// histograms as **cumulative** `_bucket{le="…"}` series capped by
+/// `le="+Inf"` plus `_sum`/`_count`, all in ascending name order so the
+/// emitted bytes are deterministic for a given snapshot. Histograms
+/// with rejected non-finite observations get an extra
+/// `<name>_ignored_total` counter so bad data stays visible in scrapes.
+#[must_use]
+pub fn metrics_prom(snapshot: &MetricsSnapshot) -> String {
+    let mut entries: Vec<&(String, MetricValue)> = snapshot.entries.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (name, value) in entries {
+        let base = prom_name(name);
+        match value {
+            MetricValue::Counter(n) => {
+                let _ = writeln!(out, "# TYPE {base}_total counter");
+                let _ = writeln!(out, "{base}_total {n}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                let _ = writeln!(out, "{base} {}", prom_f64(*g));
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                let mut cum = 0u64;
+                for (i, &count) in h.buckets.iter().enumerate() {
+                    cum += count;
+                    let le = match h.bounds.get(i) {
+                        Some(&b) => prom_f64(b),
+                        None => "+Inf".to_string(),
+                    };
+                    let _ = writeln!(out, "{base}_bucket{{le=\"{}\"}} {cum}", prom_escape(&le));
+                }
+                let _ = writeln!(out, "{base}_sum {}", prom_f64(h.sum));
+                let _ = writeln!(out, "{base}_count {cum}");
+                if h.ignored > 0 {
+                    let _ = writeln!(out, "# TYPE {base}_ignored_total counter");
+                    let _ = writeln!(out, "{base}_ignored_total {}", h.ignored);
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Renders spans and metrics as JSON-lines: one `{"type":"span",...}`
 /// or `{"type":"metric",...}` object per line.
 #[must_use]
@@ -158,6 +260,9 @@ pub fn json_lines(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
         }
         if let Some(shard) = s.shard {
             let _ = write!(out, ",\"shard\":{shard}");
+        }
+        if let Some(req) = s.req {
+            let _ = write!(out, ",\"req\":{req}");
         }
         if s.items > 0 {
             let _ = write!(out, ",\"items\":{}", s.items);
@@ -275,6 +380,7 @@ mod tests {
                 start_ns: 1_000,
                 dur_ns: 9_000,
                 shard: None,
+                req: None,
                 items: 0,
             },
             SpanRecord {
@@ -285,6 +391,7 @@ mod tests {
                 start_ns: 2_000,
                 dur_ns: 4_000,
                 shard: Some(3),
+                req: Some(42),
                 items: 128,
             },
         ]
@@ -302,6 +409,7 @@ mod tests {
                     MetricValue::Histogram(HistogramSnapshot {
                         bounds: vec![1e3, 1e6],
                         buckets: vec![1, 2, 0],
+                        sum: 4000.0,
                         ignored: 0,
                     }),
                 ),
@@ -356,5 +464,77 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn span_req_is_emitted_only_when_present() {
+        let trace = chrome_trace(&sample_spans());
+        assert!(trace.contains("\"req\":42"));
+        let lines = json_lines(&sample_spans(), &MetricsSnapshot { entries: vec![] });
+        let first = lines.lines().next().unwrap();
+        assert!(!first.contains("\"req\""), "span without req stays req-free: {first}");
+        let second = lines.lines().nth(1).unwrap();
+        assert!(second.contains("\"req\":42"));
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("serve.latency_ms"), "serve_latency_ms");
+        assert_eq!(prom_name("serve.rejected_503"), "serve_rejected_503");
+        assert_eq!(prom_name("ns:scoped"), "ns:scoped");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn prom_escape_rules() {
+        assert_eq!(prom_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(prom_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn metrics_prom_exposition_shape() {
+        let out = metrics_prom(&sample_metrics());
+        // Counter: _total suffix, TYPE line precedes the sample.
+        assert!(out.contains("# TYPE mc_samples_total counter\nmc_samples_total 4096\n"));
+        // Gauge.
+        assert!(out.contains("# TYPE memcalc_cache_hit_rate gauge\nmemcalc_cache_hit_rate 0.998\n"));
+        // Histogram: cumulative buckets capped by +Inf, then sum/count.
+        assert!(out.contains("# TYPE shard_ns histogram\n"));
+        assert!(out.contains("shard_ns_bucket{le=\"1000\"} 1\n"));
+        assert!(out.contains("shard_ns_bucket{le=\"1000000\"} 3\n"));
+        assert!(out.contains("shard_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("shard_ns_sum 4000\n"));
+        assert!(out.contains("shard_ns_count 3\n"));
+        // No ignored counter when nothing was rejected.
+        assert!(!out.contains("shard_ns_ignored_total"));
+        // Name-sorted and byte-deterministic.
+        assert!(out.find("mc_samples_total").unwrap() < out.find("memcalc_cache_hit_rate").unwrap());
+        assert_eq!(out, metrics_prom(&sample_metrics()));
+    }
+
+    #[test]
+    fn metrics_prom_reports_ignored_observations() {
+        let snap = MetricsSnapshot {
+            entries: vec![(
+                "h".into(),
+                MetricValue::Histogram(HistogramSnapshot {
+                    bounds: vec![1.0],
+                    buckets: vec![1, 0],
+                    sum: 0.5,
+                    ignored: 2,
+                }),
+            )],
+        };
+        let out = metrics_prom(&snap);
+        assert!(out.contains("# TYPE h_ignored_total counter\nh_ignored_total 2\n"));
+    }
+
+    #[test]
+    fn prom_f64_spellings() {
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_f64(2.5), "2.5");
     }
 }

@@ -1,0 +1,119 @@
+//! Log-scale high-resolution latency buckets and the canonical bound
+//! set shared by `ntc-serve` and the `repro bench-serve` load harness.
+//!
+//! Fixed linear buckets (the PR 3 histograms) are fine for quantities
+//! whose scale is known up front, but service latency spans five-plus
+//! orders of magnitude — a memoized `/query` answers in microseconds
+//! while a cold paper-scale `/run` takes seconds, and overload pushes
+//! queue waits beyond that. A useful p999 needs resolution *relative*
+//! to the value, which is what log-spaced bounds give: every bucket
+//! covers the same ratio, so the quantile estimation error is a fixed
+//! percentage at any scale (the HdrHistogram trade, realised here on
+//! the existing lock-free [`Histogram`](crate::metrics::Histogram)
+//! cells so the deterministic bucket-wise merge carries over
+//! unchanged).
+//!
+//! [`latency_bounds_ms`] is the **one** definition of serve-latency
+//! buckets in the workspace. The server records into it, `/metrics`
+//! exports it (JSON and Prometheus), and the load generator estimates
+//! its client-side quantiles from the identical layout — so numbers
+//! from either side are comparable bucket for bucket.
+
+use std::sync::OnceLock;
+
+/// Bounds per decade in [`latency_bounds_ms`]: the relative quantile
+/// resolution is `10^(1/50) - 1` ≈ 4.7 % — comfortably inside the
+/// run-to-run noise of any timing measurement this repo makes.
+pub const LATENCY_PER_DECADE: usize = 50;
+
+/// Range of [`latency_bounds_ms`]: 1 µs to 100 s, in milliseconds.
+pub const LATENCY_MIN_MS: f64 = 1e-3;
+/// Upper end of [`latency_bounds_ms`] (values above land in the
+/// overflow bucket).
+pub const LATENCY_MAX_MS: f64 = 1e5;
+
+/// Strictly increasing log-spaced bounds: `min · 10^(i/per_decade)`
+/// for `i = 0..` until `max` is reached (the last bound is ≥ `max`).
+///
+/// The bounds are a pure function of the three parameters, so two
+/// processes (a server and a load generator, say) that agree on the
+/// parameters agree on every bucket edge — bucket-wise merges and
+/// cross-process comparisons stay exact.
+///
+/// # Panics
+/// Panics unless `0 < min < max` (both finite) and `per_decade > 0`.
+#[must_use]
+pub fn log_bounds(min: f64, max: f64, per_decade: usize) -> Vec<f64> {
+    assert!(min.is_finite() && max.is_finite(), "log bounds must be finite");
+    assert!(min > 0.0 && max > min, "log bounds need 0 < min < max");
+    assert!(per_decade > 0, "log bounds need at least one bucket per decade");
+    let mut bounds = Vec::new();
+    let mut i = 0usize;
+    loop {
+        #[allow(clippy::cast_precision_loss)]
+        let b = min * 10f64.powf(i as f64 / per_decade as f64);
+        // powf is monotone here but guard against FP ties anyway: the
+        // Histogram constructor insists on strictly increasing bounds.
+        if bounds.last().is_none_or(|&prev| b > prev) {
+            bounds.push(b);
+        }
+        if b >= max {
+            return bounds;
+        }
+        i += 1;
+    }
+}
+
+/// The canonical serve-latency bucket bounds, in milliseconds: 1 µs to
+/// 100 s at [`LATENCY_PER_DECADE`] buckets per decade (401 buckets).
+///
+/// Everything that measures request latency — `serve.latency_ms`,
+/// `serve.queue_wait_ms`, `serve.handler_ms`, the per-route
+/// histograms, and the `bench-serve` client-side measurements — uses
+/// exactly this layout.
+#[must_use]
+pub fn latency_bounds_ms() -> &'static [f64] {
+    static BOUNDS: OnceLock<Vec<f64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| log_bounds(LATENCY_MIN_MS, LATENCY_MAX_MS, LATENCY_PER_DECADE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn log_bounds_are_strictly_increasing_and_cover_the_range() {
+        let b = log_bounds(1e-3, 1e5, 50);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!((b[0] - 1e-3).abs() < 1e-15);
+        assert!(*b.last().unwrap() >= 1e5);
+        // 8 decades at 50/decade: 401 edges.
+        assert_eq!(b.len(), 401);
+        // The constructor they feed must accept them.
+        let _ = Histogram::new(&b);
+    }
+
+    #[test]
+    fn log_bounds_ratio_is_constant() {
+        let b = log_bounds(0.5, 50.0, 10);
+        let ratio = 10f64.powf(0.1);
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - ratio).abs() < 1e-9, "uneven ratio {w:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_bounds_are_stable_and_shared() {
+        let a = latency_bounds_ms();
+        let b = latency_bounds_ms();
+        assert_eq!(a.as_ptr(), b.as_ptr(), "one allocation for the process");
+        assert_eq!(a, log_bounds(LATENCY_MIN_MS, LATENCY_MAX_MS, LATENCY_PER_DECADE).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < min < max")]
+    fn zero_min_is_refused() {
+        let _ = log_bounds(0.0, 1.0, 10);
+    }
+}

@@ -3,8 +3,9 @@
 //! The workspace's instrumentation layer: hierarchical [spans](span)
 //! with RAII guards and monotonic clocks, typed [metrics](metrics) on
 //! lock-free `AtomicU64` cells, pluggable [sinks](export) (Chrome
-//! `trace_event`, JSON-lines, plain text), and a [`Provenance`] block
-//! for artifact sidecars.
+//! `trace_event`, JSON-lines, plain text, Prometheus exposition), a
+//! canonical log-scale [latency](latency) bucket layout with quantile
+//! estimation, and a [`Provenance`] block for artifact sidecars.
 //!
 //! # Cost model
 //!
@@ -46,11 +47,15 @@
 //! bounded run-memo counts evictions in `serve.cache.evictions`.
 
 pub mod export;
+pub mod latency;
 pub mod metrics;
 pub mod provenance;
 pub mod span;
 
-pub use export::{chrome_trace, json_lines, metrics_json, text_summary};
+pub use export::{
+    chrome_trace, json_lines, metrics_json, metrics_prom, prom_escape, prom_name, text_summary,
+};
+pub use latency::{latency_bounds_ms, log_bounds, LATENCY_MAX_MS, LATENCY_MIN_MS, LATENCY_PER_DECADE};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot};
 pub use provenance::{version, Provenance};
 pub use span::{current_span, span, take_spans, Span, SpanId, SpanRecord};

@@ -77,6 +77,13 @@ impl Gauge {
 pub struct Histogram {
     bounds: Box<[f64]>,
     buckets: Box<[AtomicU64]>,
+    /// Running sum of every bucketed observation, stored as `f64` bits
+    /// and advanced with a CAS loop (feeds the Prometheus `_sum`
+    /// series). Bucket counts stay integer-exact; the sum is IEEE
+    /// addition, exact whenever the accumulated values have exact
+    /// binary representations (latencies summed in ms generally do
+    /// not — consumers should treat `sum` as a statistic, not a key).
+    sum: AtomicU64,
     ignored: AtomicU64,
 }
 
@@ -94,6 +101,7 @@ impl Histogram {
         Self {
             bounds: bounds.into(),
             buckets,
+            sum: AtomicU64::new(0f64.to_bits()),
             ignored: AtomicU64::new(0),
         }
     }
@@ -112,6 +120,14 @@ impl Histogram {
             .position(|&b| v <= b)
             .unwrap_or(self.bounds.len());
         self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     #[must_use]
@@ -124,6 +140,7 @@ impl Histogram {
         HistogramSnapshot {
             bounds: self.bounds.to_vec(),
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: f64::from_bits(self.sum.load(Ordering::Relaxed)),
             ignored: self.ignored.load(Ordering::Relaxed),
         }
     }
@@ -136,6 +153,8 @@ pub struct HistogramSnapshot {
     pub bounds: Vec<f64>,
     /// `bounds.len() + 1` counts; the last is the overflow bucket.
     pub buckets: Vec<u64>,
+    /// Sum of every bucketed observation (see [`Histogram`]).
+    pub sum: f64,
     /// Non-finite observations that were rejected rather than bucketed.
     pub ignored: u64,
 }
@@ -145,6 +164,69 @@ impl HistogramSnapshot {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// `(lower, upper)` edges of bucket `i` for interpolation. The
+    /// first bucket's lower edge is 0 for all-positive bounds (the
+    /// latency case) and collapses to the bound otherwise; the
+    /// overflow bucket collapses to the last bound — a quantile landing
+    /// there reports the largest value the layout can resolve.
+    fn bucket_edges(&self, i: usize) -> (f64, f64) {
+        if i == 0 {
+            let hi = self.bounds[0];
+            (if hi > 0.0 { 0.0 } else { hi }, hi)
+        } else if i == self.bounds.len() {
+            let b = self.bounds[i - 1];
+            (b, b)
+        } else {
+            (self.bounds[i - 1], self.bounds[i])
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// distribution by rank-walking the buckets and interpolating
+    /// linearly inside the rank's bucket.
+    ///
+    /// Properties (property-tested in `tests/props.rs`):
+    ///
+    /// * **monotone in `q`** — larger quantiles never report smaller
+    ///   values;
+    /// * **bounded error** — for observations inside the bound range,
+    ///   the estimate lands in the same bucket as the exact sample
+    ///   quantile, so the error is at most one bucket width (a fixed
+    ///   *percentage* for log-spaced bounds);
+    /// * **merge-stable** — `a.merge(b)` quantiles equal those of a
+    ///   single histogram that recorded both streams, because merge is
+    ///   exact bucket-wise integer addition.
+    ///
+    /// Returns `None` for an empty histogram or a `q` outside
+    /// `[0, 1]`. Values in the overflow bucket report the last bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the order statistic the quantile names, 1-based.
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank <= below + c {
+                let (lo, hi) = self.bucket_edges(i);
+                #[allow(clippy::cast_precision_loss)]
+                let frac = (rank - below) as f64 / c as f64;
+                return Some(lo + (hi - lo) * frac);
+            }
+            below += c;
+        }
+        None // unreachable: total > 0 guarantees the walk terminates
     }
 }
 
@@ -231,6 +313,11 @@ fn combine(a: MetricValue, b: MetricValue) -> MetricValue {
                 .zip(&y.buckets)
                 .map(|(p, q)| p + q)
                 .collect(),
+            // IEEE addition: commutative always, associative whenever
+            // the sums are exactly representable (integer-valued sums,
+            // the property-test regime). Bucket counts — the quantile
+            // inputs — stay integer-exact regardless.
+            sum: x.sum + y.sum,
             ignored: x.ignored + y.ignored,
         }),
         // Mismatched kinds or bounds: resolve by a total order on the
@@ -291,6 +378,7 @@ mod tests {
         assert_eq!(s.buckets, vec![2, 2, 1, 1]);
         assert_eq!(s.count(), 6);
         assert_eq!(s.ignored, 0);
+        assert!((s.sum - 205.500_000_1).abs() < 1e-6, "sum tracks bucketed values");
     }
 
     #[test]
@@ -305,6 +393,40 @@ mod tests {
         assert_eq!(s.buckets, vec![1, 0, 0]);
         assert_eq!(s.count(), 1);
         assert_eq!(s.ignored, 3);
+        assert!((s.sum - 0.5).abs() < 1e-15, "rejected values never reach the sum");
+    }
+
+    #[test]
+    fn quantiles_walk_ranks_and_interpolate() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        // 8 observations: 4 in (1,2], 4 in (2,4].
+        for v in [1.5, 1.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 = 4th of 8 ranks → last rank of the (1,2] bucket → 2.0.
+        assert_eq!(s.quantile(0.5), Some(2.0));
+        // p100 = 8th rank → upper edge of (2,4].
+        assert_eq!(s.quantile(1.0), Some(4.0));
+        // Smallest quantiles interpolate from the bucket's lower edge.
+        let p01 = s.quantile(0.01).unwrap();
+        assert!(p01 > 1.0 && p01 <= 2.0, "p01 inside its bucket: {p01}");
+        // Exact sample quantiles live in the same buckets, so the
+        // estimate is within one bucket width of them.
+        assert!((s.quantile(0.5).unwrap() - 1.5).abs() <= 1.0);
+        assert!((s.quantile(0.999).unwrap() - 3.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.snapshot().quantile(0.5), None, "empty histogram has no quantiles");
+        h.record(10.0); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(2.0), "overflow reports the last bound");
+        assert_eq!(s.quantile(-0.1), None);
+        assert_eq!(s.quantile(1.1), None);
+        assert_eq!(s.quantile(f64::NAN), None);
     }
 
     #[test]
@@ -371,6 +493,7 @@ mod tests {
                     MetricValue::Histogram(HistogramSnapshot {
                         bounds: vec![1.0],
                         buckets: vec![1, 2],
+                        sum: 2.5,
                         ignored: 1,
                     }),
                 ),
@@ -385,6 +508,7 @@ mod tests {
                     MetricValue::Histogram(HistogramSnapshot {
                         bounds: vec![1.0],
                         buckets: vec![4, 8],
+                        sum: 7.5,
                         ignored: 2,
                     }),
                 ),
@@ -399,6 +523,7 @@ mod tests {
             Some(&MetricValue::Histogram(HistogramSnapshot {
                 bounds: vec![1.0],
                 buckets: vec![5, 10],
+                sum: 10.0,
                 ignored: 3,
             }))
         );

@@ -41,6 +41,11 @@ pub struct SpanRecord {
     pub dur_ns: u64,
     /// Monte-Carlo shard this span worked on, if shard-keyed.
     pub shard: Option<u32>,
+    /// Serve-layer request id this span worked on, if request-keyed
+    /// (`ntc-serve` assigns one per accepted connection and stamps it
+    /// on the request's spans, the access log, and the `X-Request-Id`
+    /// response header, so one id joins all three).
+    pub req: Option<u64>,
     /// Work items processed inside the span (0 when not counted).
     pub items: u64,
 }
@@ -103,6 +108,7 @@ struct Active {
     start: Instant,
     start_ns: u64,
     shard: Option<u32>,
+    req: Option<u64>,
     items: u64,
 }
 
@@ -136,6 +142,7 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
         start,
         start_ns,
         shard: None,
+        req: None,
         items: 0,
     }))
 }
@@ -146,6 +153,15 @@ impl Span {
     pub fn with_shard(mut self, shard: u32) -> Self {
         if let Some(a) = self.0.as_mut() {
             a.shard = Some(shard);
+        }
+        self
+    }
+
+    /// Keys the span to a serve-layer request id.
+    #[must_use]
+    pub fn with_request(mut self, req: u64) -> Self {
+        if let Some(a) = self.0.as_mut() {
+            a.req = Some(req);
         }
         self
     }
@@ -197,6 +213,7 @@ impl Drop for Span {
             start_ns: a.start_ns,
             dur_ns,
             shard: a.shard,
+            req: a.req,
             items: a.items,
         };
         if let Ok(mut f) = finished().lock() {
@@ -261,6 +278,7 @@ mod tests {
             start_ns: 0,
             dur_ns: 2_000_000_000,
             shard: None,
+            req: None,
             items: 10,
         };
         let ips = r.items_per_sec().unwrap();

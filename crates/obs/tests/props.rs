@@ -1,8 +1,11 @@
-//! Property tests for the `ntc-obs` metric merge: the ordered merge
-//! must be associative and commutative so a parallel run's rendered
-//! snapshot cannot depend on merge order or thread count.
+//! Property tests for the `ntc-obs` metric merge and the histogram
+//! quantile estimator: the ordered merge must be associative and
+//! commutative so a parallel run's rendered snapshot cannot depend on
+//! merge order or thread count, and quantiles must be monotone in `q`,
+//! within one bucket of the exact sample quantile, and identical
+//! whether the data was recorded in one pass or merged from shards.
 
-use ntc_obs::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+use ntc_obs::{latency_bounds_ms, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot};
 use proptest::prelude::*;
 
 /// Builds a snapshot from drawn raw material. Names come from a small
@@ -23,6 +26,11 @@ fn snapshot(raw: &[u64]) -> MetricsSnapshot {
             _ => MetricValue::Histogram(HistogramSnapshot {
                 bounds: vec![1.0, 8.0, 64.0],
                 buckets: vec![v % 5, (v / 5) % 7, (v / 35) % 3, v % 2],
+                // Exact small-integer sums: IEEE addition of integers
+                // this size is associative, so the merge laws hold
+                // bit-for-bit.
+                #[allow(clippy::cast_precision_loss)]
+                sum: ((v / 7) % 1000) as f64,
                 ignored: (v / 3) % 4,
             }),
         };
@@ -75,5 +83,150 @@ proptest! {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         prop_assert_eq!(names, sorted);
+    }
+}
+
+/// Index of the bucket a value lands in, mirroring `Histogram::record`.
+fn bucket_of(bounds: &[f64], v: f64) -> usize {
+    bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len())
+}
+
+/// `(lower, upper)` interpolation edges of a bucket, mirroring the
+/// estimator (first bucket starts at 0, overflow collapses to the last
+/// bound).
+fn edges_of(bounds: &[f64], i: usize) -> (f64, f64) {
+    if i == 0 {
+        (0.0, bounds[0])
+    } else if i == bounds.len() {
+        (bounds[i - 1], bounds[i - 1])
+    } else {
+        (bounds[i - 1], bounds[i])
+    }
+}
+
+/// The exact sample quantile under the estimator's rank convention
+/// (`rank = ceil(q·n)` clamped to `[1, n]`, 1-based order statistic).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Quantiles never decrease as `q` grows.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in proptest::collection::vec(0u32..2_000_000, 1..200),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let bounds = ntc_obs::log_bounds(1.0, 1e6, 10);
+        let h = Histogram::new(&bounds);
+        for &s in &samples {
+            h.record(f64::from(s));
+        }
+        let snap = h.snapshot();
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let est = snap.quantile(q).unwrap();
+            prop_assert!(est >= prev, "quantile({q}) = {est} < previous {prev}");
+            prev = est;
+        }
+    }
+
+    /// The estimate lands in the same bucket as the exact sample
+    /// quantile, so the error is at most one bucket width. Samples stay
+    /// inside the bound range: overflow-bucket values collapse to the
+    /// last bound by design, with no width guarantee.
+    #[test]
+    fn quantile_is_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(0u32..1_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let bounds = ntc_obs::log_bounds(1.0, 1e6, 10);
+        let h = Histogram::new(&bounds);
+        let mut sorted: Vec<f64> = samples.iter().map(|&s| f64::from(s)).collect();
+        for &v in &sorted {
+            h.record(v);
+        }
+        sorted.sort_by(f64::total_cmp);
+        let est = h.snapshot().quantile(q).unwrap();
+        let exact = exact_quantile(&sorted, q);
+        let (lo, hi) = edges_of(&bounds, bucket_of(&bounds, exact));
+        let width = hi - lo;
+        prop_assert!(
+            (est - exact).abs() <= width,
+            "quantile({q}) = {est}, exact = {exact}, bucket width = {width}"
+        );
+    }
+
+    /// Recording shards separately and merging the snapshots gives the
+    /// same quantiles (the same snapshot, in fact) as one single-pass
+    /// histogram over the concatenated stream. Integer-valued samples
+    /// keep the `sum` comparison bit-exact.
+    #[test]
+    fn quantile_of_merge_equals_single_pass(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u32..2_000_000, 0..50),
+            1..5,
+        ),
+    ) {
+        let bounds = ntc_obs::log_bounds(1.0, 1e6, 10);
+        let single = Histogram::new(&bounds);
+        let mut merged: Option<HistogramSnapshot> = None;
+        for shard in &shards {
+            let part = Histogram::new(&bounds);
+            for &v in shard {
+                single.record(f64::from(v));
+                part.record(f64::from(v));
+            }
+            let part = part.snapshot();
+            merged = Some(match merged.take() {
+                None => part,
+                Some(acc) => {
+                    let m = MetricsSnapshot { entries: vec![("h".into(), MetricValue::Histogram(acc))] }
+                        .merge(MetricsSnapshot { entries: vec![("h".into(), MetricValue::Histogram(part))] });
+                    match m.entries.into_iter().next().unwrap().1 {
+                        MetricValue::Histogram(h) => h,
+                        other => panic!("expected histogram, got {other:?}"),
+                    }
+                }
+            });
+        }
+        let merged = merged.unwrap();
+        let single = single.snapshot();
+        prop_assert_eq!(&merged, &single, "merge must equal single-pass bucket-for-bucket");
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+
+    /// The canonical latency layout resolves every quantile to within
+    /// its documented relative error (one log-spaced bucket ≈ 4.7 %).
+    /// Samples stay strictly above the first bound: the first bucket's
+    /// lower interpolation edge is 0, so only values above it enjoy the
+    /// constant-ratio guarantee.
+    #[test]
+    fn latency_bounds_hold_relative_error(
+        samples in proptest::collection::vec(2u32..100_000_000, 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let bounds = latency_bounds_ms();
+        let h = Histogram::new(bounds);
+        let mut sorted: Vec<f64> = samples.iter().map(|&s| f64::from(s) * 1e-3).collect();
+        for &v in &sorted {
+            h.record(v);
+        }
+        sorted.sort_by(f64::total_cmp);
+        let est = h.snapshot().quantile(q).unwrap();
+        let exact = exact_quantile(&sorted, q);
+        let ratio = 10f64.powf(1.0 / 50.0);
+        prop_assert!(
+            est <= exact * ratio * (1.0 + 1e-12) && est * ratio >= exact * (1.0 - 1e-12),
+            "quantile({q}) = {est} not within one log bucket of exact {exact}"
+        );
     }
 }

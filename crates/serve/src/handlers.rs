@@ -15,8 +15,8 @@
 //! | GET    | `/artifact/{id}`  | artifact JSON (`?scale=quick\|paper`)     |
 //! | POST   | `/run`            | artifact + check verdicts for one run     |
 //! | POST   | `/query`          | fine-grained model queries (single/batch) |
-//! | GET    | `/healthz`        | liveness probe                            |
-//! | GET    | `/metrics`        | `ntc-obs` metrics snapshot                |
+//! | GET    | `/healthz`        | liveness probe + store/format version     |
+//! | GET    | `/metrics`        | `ntc-obs` snapshot (`?format=json\|prom`) |
 //!
 //! Errors are structured: every non-2xx body is
 //! `{"error":{"kind":..., "message":...}}` with the stable
@@ -148,6 +148,47 @@ impl ServerState {
             .expect("run memo lock")
             .insert(key, artifact.clone());
         artifact
+    }
+}
+
+/// Content type of the Prometheus text exposition format the
+/// `/metrics?format=prom` endpoint speaks.
+pub const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A routed response: status, body, and the content type to frame it
+/// with. Everything is JSON except the Prometheus exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Reply {
+    /// A JSON reply (the default for every route).
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Reply {
+        Reply { status, content_type: "application/json", body }
+    }
+}
+
+/// The bounded per-route label a path maps to, used in
+/// `serve.route.<label>.*` metric names. A fixed vocabulary — paths
+/// never reach metric names, so an attacker spraying random URLs
+/// cannot explode the registry.
+#[must_use]
+pub fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/experiments" => "experiments",
+        "/run" => "run",
+        "/query" => "query",
+        p if p.starts_with("/artifact/") => "artifact",
+        _ => "other",
     }
 }
 
@@ -321,19 +362,45 @@ fn handle_query(req: &Request, state: &ServerState) -> (u16, String) {
     (200, compact(&response))
 }
 
-fn handle_metrics(state: &ServerState) -> (u16, String) {
+/// `GET /metrics?format=json|prom` — the full `ntc-obs` snapshot, as
+/// the deterministic JSON document (default) or Prometheus text
+/// exposition. Both render the same snapshot; only the framing differs.
+fn handle_metrics(req: &Request, state: &ServerState) -> Reply {
     // Publish the derived cache gauge next to the raw counters so
     // scripts don't have to recompute it.
     let stats = state.models.cache_stats();
     ntc_obs::gauge_set("serve.cache.hit_rate", stats.hit_rate());
-    (200, ntc_obs::metrics_json(&ntc_obs::metrics_snapshot()))
+    match req.query_param("format") {
+        None | Some("json") => {
+            Reply::json(200, ntc_obs::metrics_json(&ntc_obs::metrics_snapshot()))
+        }
+        Some("prom") => Reply {
+            status: 200,
+            content_type: PROM_CONTENT_TYPE,
+            body: ntc_obs::metrics_prom(&ntc_obs::metrics_snapshot()),
+        },
+        Some(other) => Reply::json(
+            400,
+            error_body(
+                "invalid_param",
+                &format!("format: expected \"json\" or \"prom\", got \"{other}\""),
+            ),
+        ),
+    }
 }
 
-/// Routes one framed request to its handler: `(status, body)`.
-pub fn handle(req: &Request, state: &ServerState) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, r#"{"ok":true}"#.to_string()),
-        ("GET", "/metrics") => handle_metrics(state),
+/// `GET /healthz` — liveness plus the store/format version the build
+/// keys artifacts on, so load tests and CI can assert which build (and
+/// which on-disk format) they are actually hitting.
+fn healthz_body() -> String {
+    format!(r#"{{"ok":true,"version":"{}"}}"#, ntc::store::store_version())
+}
+
+/// Routes one framed request to its handler.
+pub fn handle(req: &Request, state: &ServerState) -> Reply {
+    let (status, body) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, healthz_body()),
+        ("GET", "/metrics") => return handle_metrics(req, state),
         ("GET", "/experiments") => handle_experiments(),
         ("GET", p) if p.starts_with("/artifact/") => handle_artifact(req, state),
         ("POST", "/run") => handle_run(req, state),
@@ -345,7 +412,8 @@ pub fn handle(req: &Request, state: &ServerState) -> (u16, String) {
             (405, error_body("unsupported", &format!("{} not allowed here", req.method)))
         }
         (_, p) => (404, error_body("unsupported", &format!("no route for {p}"))),
-    }
+    };
+    Reply::json(status, body)
 }
 
 #[cfg(test)]
@@ -369,10 +437,17 @@ mod tests {
         }
     }
 
+    /// Routes and splits the reply, for tests that only care about
+    /// status + body.
+    fn call(req: &Request, state: &ServerState) -> (u16, String) {
+        let r = handle(req, state);
+        (r.status, r.body)
+    }
+
     #[test]
     fn experiments_listing_covers_the_registry() {
         let state = ServerState::new(2014);
-        let (status, body) = handle(&get("/experiments"), &state);
+        let (status, body) = call(&get("/experiments"), &state);
         assert_eq!(status, 200);
         let v = parse(&body).unwrap();
         let entries = v.get("experiments").and_then(JsonValue::as_arr).unwrap();
@@ -386,7 +461,7 @@ mod tests {
     #[test]
     fn artifact_endpoint_matches_cli_json_bytes() {
         let state = ServerState::new(2014);
-        let (status, body) = handle(&get("/artifact/table2?scale=quick"), &state);
+        let (status, body) = call(&get("/artifact/table2?scale=quick"), &state);
         assert_eq!(status, 200);
         let ctx = RunCtx::builder().quick().build();
         let direct = run_one(find_id(ExperimentId::Table2).as_ref(), &ctx);
@@ -422,12 +497,12 @@ mod tests {
         let store_hit = ntc_obs::counter("store.hit");
         let req = post("/run", r#"{"id":"table2","scale":"quick"}"#);
 
-        let (status, first) = handle(&req, &state);
+        let (status, first) = call(&req, &state);
         assert_eq!(status, 200);
         let computed_after_first = computed.get();
         let hits_after_first = store_hit.get();
 
-        let (status, second) = handle(&req, &state);
+        let (status, second) = call(&req, &state);
         assert_eq!(status, 200);
         assert_eq!(second, first, "store-served rerun must be byte-identical");
         assert_eq!(
@@ -478,19 +553,19 @@ mod tests {
         let _g = run_locked();
         let state = ServerState::new(2014);
         let req = post("/run", r#"{"id":"table2","scale":"quick"}"#);
-        let (status, first) = handle(&req, &state);
+        let (status, first) = call(&req, &state);
         assert_eq!(status, 200);
         let v = parse(&first).unwrap();
         assert!(v.get("checks").and_then(JsonValue::as_arr).is_some_and(|c| !c.is_empty()));
         assert_eq!(v.get("passed"), Some(&JsonValue::Bool(true)));
-        let (_, second) = handle(&req, &state);
+        let (_, second) = call(&req, &state);
         assert_eq!(first, second, "memoized rerun must be byte-identical");
     }
 
     #[test]
     fn unknown_experiment_is_404_with_the_id_list() {
         let state = ServerState::new(2014);
-        let (status, body) = handle(&post("/run", r#"{"id":"fig99"}"#), &state);
+        let (status, body) = call(&post("/run", r#"{"id":"fig99"}"#), &state);
         assert_eq!(status, 404);
         let v = parse(&body).unwrap();
         let err = v.get("error").unwrap();
@@ -502,7 +577,7 @@ mod tests {
     #[test]
     fn malformed_json_is_400_with_kind() {
         let state = ServerState::new(2014);
-        let (status, body) = handle(&post("/query", "{not json"), &state);
+        let (status, body) = call(&post("/query", "{not json"), &state);
         assert_eq!(status, 400);
         let v = parse(&body).unwrap();
         assert_eq!(
@@ -518,7 +593,7 @@ mod tests {
             "/query",
             r#"{"queries":[{"kind":"vmin","scheme":"ocean","frequency_hz":290e3},{"kind":"energy","model":"cots_40nm","vdd":0.55}]}"#,
         );
-        let (status, body) = handle(&req, &state);
+        let (status, body) = call(&req, &state);
         assert_eq!(status, 200);
         let v = parse(&body).unwrap();
         let results = v.get("results").and_then(JsonValue::as_arr).unwrap();
@@ -530,8 +605,57 @@ mod tests {
     #[test]
     fn routing_distinguishes_404_and_405() {
         let state = ServerState::new(2014);
-        assert_eq!(handle(&get("/nope"), &state).0, 404);
-        assert_eq!(handle(&get("/run"), &state).0, 405);
-        assert_eq!(handle(&post("/experiments", ""), &state).0, 405);
+        assert_eq!(call(&get("/nope"), &state).0, 404);
+        assert_eq!(call(&get("/run"), &state).0, 405);
+        assert_eq!(call(&post("/experiments", ""), &state).0, 405);
+    }
+
+    #[test]
+    fn healthz_carries_the_store_version() {
+        let state = ServerState::new(2014);
+        let (status, body) = call(&get("/healthz"), &state);
+        assert_eq!(status, 200);
+        let v = parse(&body).unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            v.get("version").and_then(JsonValue::as_str),
+            Some(ntc::store::store_version().as_str()),
+            "healthz names the (crate, format) version the store keys on"
+        );
+    }
+
+    #[test]
+    fn metrics_format_selects_the_exposition() {
+        ntc_obs::enable();
+        ntc_obs::counter_add("serve.test.handlers_prom", 1);
+        let state = ServerState::new(2014);
+
+        let json = handle(&get("/metrics"), &state);
+        assert_eq!(json.status, 200);
+        assert_eq!(json.content_type, "application/json");
+        assert!(parse(&json.body).is_ok(), "JSON exposition parses");
+
+        let prom = handle(&get("/metrics?format=prom"), &state);
+        assert_eq!(prom.status, 200);
+        assert_eq!(prom.content_type, PROM_CONTENT_TYPE);
+        assert!(prom.body.contains("serve_test_handlers_prom_total"));
+        assert!(prom.body.contains("# TYPE "));
+
+        let bad = handle(&get("/metrics?format=xml"), &state);
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("invalid_param"));
+    }
+
+    #[test]
+    fn route_labels_are_a_fixed_vocabulary() {
+        assert_eq!(route_label("/healthz"), "healthz");
+        assert_eq!(route_label("/metrics"), "metrics");
+        assert_eq!(route_label("/experiments"), "experiments");
+        assert_eq!(route_label("/run"), "run");
+        assert_eq!(route_label("/query"), "query");
+        assert_eq!(route_label("/artifact/table2"), "artifact");
+        assert_eq!(route_label("/artifact/"), "artifact");
+        assert_eq!(route_label("/anything-else"), "other");
+        assert_eq!(route_label(""), "other");
     }
 }

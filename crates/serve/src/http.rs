@@ -135,12 +135,31 @@ pub fn reason(status: u16) -> &'static str {
 /// the worker can count them, but a dead peer is not fatal to anyone
 /// but itself.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_full(stream, status, "application/json", None, body)
+}
+
+/// Writes a complete response with an explicit content type and, when
+/// present, the request's `X-Request-Id` header — the same id the
+/// request's spans and access-log line carry, so a client can join its
+/// own latency sample to the server-side record.
+pub fn write_response_full(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    req_id: Option<u64>,
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
     );
+    if let Some(id) = req_id {
+        head.push_str(&format!("X-Request-Id: {id}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

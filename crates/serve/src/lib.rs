@@ -30,6 +30,21 @@
 //! [`RunningServer::shutdown`]) stops the acceptor, lets queued work
 //! drain, and joins every shard.
 //!
+//! # Observability
+//!
+//! Every accepted connection gets a process-unique request id, stamped
+//! on its `serve.request` span, its [access log](access) line, and the
+//! `X-Request-Id` response header. Latency is recorded three ways on
+//! the canonical log-scale buckets ([`ntc_obs::latency_bounds_ms`]):
+//! `serve.queue_wait_ms` (accept → pop), `serve.handler_ms` (pop →
+//! response written), and `serve.latency_ms` (the client-visible
+//! total), plus a per-route `serve.route.<label>.latency_ms` and
+//! per-route/per-status counters. Overload is explicit:
+//! `serve.rejected_503` counts queue-full bounces and
+//! `serve.queue_depth` gauges the backlog. `GET /metrics` renders the
+//! snapshot as deterministic JSON or (`?format=prom`) Prometheus text
+//! exposition.
+//!
 //! # Determinism
 //!
 //! Responses are rendered through the artifact layer's deterministic
@@ -42,6 +57,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod access;
 pub mod handlers;
 pub mod http;
 pub mod pool;
@@ -50,16 +66,14 @@ pub mod signal;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use access::{AccessLog, AccessRecord};
 use handlers::{error_body, ServerState};
 use pool::{BoundedQueue, Push};
-
-/// Latency histogram bucket bounds, milliseconds.
-const LATENCY_BOUNDS_MS: [f64; 8] = [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0];
 
 /// How the service binds and schedules work.
 #[derive(Debug, Clone)]
@@ -83,6 +97,10 @@ pub struct ServeConfig {
     /// LRU and counted in `serve.cache.evictions`. `0` disables the
     /// memo entirely (every repeat is answered from the store, if any).
     pub memo_cap: usize,
+    /// JSON-lines access log path. `None` disables access logging; the
+    /// request path stays byte-for-byte the same either way (the log
+    /// rides a bounded channel off the hot path — see [`access`]).
+    pub access_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +113,7 @@ impl Default for ServeConfig {
             seed: 2014,
             store: None,
             memo_cap: 64,
+            access_log: None,
         }
     }
 }
@@ -103,6 +122,9 @@ impl Default for ServeConfig {
 struct Job {
     stream: TcpStream,
     accepted: Instant,
+    /// Request id, assigned at accept; stamped on spans, the access
+    /// log, and the `X-Request-Id` response header.
+    req_id: u64,
 }
 
 /// Entry point: binds and starts a server per [`ServeConfig`].
@@ -128,16 +150,21 @@ impl Server {
         let state = Arc::new(ServerState::with_store(config.seed, store, config.memo_cap));
         let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_capacity));
         let stop = Arc::new(AtomicBool::new(false));
+        let log = match &config.access_log {
+            Some(path) => Some(Arc::new(AccessLog::open(path)?)),
+            None => None,
+        };
 
         let mut handles = Vec::with_capacity(workers);
         for shard in 0..workers {
             let queue = Arc::clone(&queue);
             let state = Arc::clone(&state);
+            let log = log.clone();
             let deadline = config.deadline;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{shard}"))
-                    .spawn(move || worker_loop(shard, &queue, &state, deadline))
+                    .spawn(move || worker_loop(shard, &queue, &state, deadline, log.as_deref()))
                     .expect("spawn worker shard"),
             );
         }
@@ -145,14 +172,15 @@ impl Server {
         let acceptor = {
             let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop);
+            let log = log.clone();
             let deadline = config.deadline;
             std::thread::Builder::new()
                 .name("serve-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &queue, &stop, deadline))
+                .spawn(move || accept_loop(&listener, &queue, &stop, deadline, log))
                 .expect("spawn acceptor")
         };
 
-        Ok(RunningServer { addr, stop, acceptor: Some(acceptor), workers: handles })
+        Ok(RunningServer { addr, stop, acceptor: Some(acceptor), workers: handles, log })
     }
 }
 
@@ -163,6 +191,7 @@ pub struct RunningServer {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    log: Option<Arc<AccessLog>>,
 }
 
 impl RunningServer {
@@ -183,6 +212,10 @@ impl RunningServer {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers are gone; flush every buffered access-log line.
+        if let Some(log) = self.log.take() {
+            log.close();
+        }
     }
 
     /// Blocks until the server shuts down on its own — i.e. until a
@@ -193,6 +226,9 @@ impl RunningServer {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(log) = self.log.take() {
+            log.close();
         }
     }
 }
@@ -206,7 +242,12 @@ fn accept_loop(
     queue: &BoundedQueue<Job>,
     stop: &AtomicBool,
     deadline: Duration,
+    log: Option<Arc<AccessLog>>,
 ) {
+    // Request ids are process-unique and monotonically assigned at
+    // accept, so the access log, spans, and `X-Request-Id` headers all
+    // agree on one vocabulary.
+    static NEXT_REQ: AtomicU64 = AtomicU64::new(1);
     loop {
         if stop.load(Ordering::SeqCst) || signal::requested() {
             break;
@@ -218,27 +259,52 @@ fn accept_loop(
                 // must not be, or reads race the client's bytes.
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(deadline));
-                let job = Job { stream, accepted: Instant::now() };
+                let req_id = NEXT_REQ.fetch_add(1, Ordering::Relaxed);
+                let job = Job { stream, accepted: Instant::now(), req_id };
                 match queue.try_push(job) {
                     Push::Accepted(depth) => {
                         #[allow(clippy::cast_precision_loss)]
                         ntc_obs::gauge_set("serve.queue_depth", depth as f64);
                     }
                     Push::Rejected(job) => {
-                        ntc_obs::counter_add("serve.rejected", 1);
+                        ntc_obs::counter_add("serve.rejected_503", 1);
                         // Answer off-thread, and *read the request
                         // first*: closing a socket with unread input
                         // sends RST, which would destroy the 503 in
                         // the peer's receive buffer.
+                        let log = log.clone();
                         std::thread::spawn(move || {
+                            let started = Instant::now();
                             let mut stream = job.stream;
                             let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-                            let _ = http::read_request(&mut stream);
-                            let _ = http::write_response(
+                            let framed = http::read_request(&mut stream);
+                            let body =
+                                error_body("overloaded", "request queue is full, retry later");
+                            let _ = http::write_response_full(
                                 &mut stream,
                                 503,
-                                &error_body("overloaded", "request queue is full, retry later"),
+                                "application/json",
+                                Some(job.req_id),
+                                &body,
                             );
+                            if let Some(log) = &log {
+                                let (method, path) = match &framed {
+                                    Ok(req) => (req.method.clone(), req.path.clone()),
+                                    Err(_) => (String::new(), String::new()),
+                                };
+                                let ms = started.elapsed().as_secs_f64() * 1e3;
+                                log.log(&AccessRecord {
+                                    req: job.req_id,
+                                    shard: None,
+                                    method,
+                                    path,
+                                    status: 503,
+                                    queue_wait_ms: 0.0,
+                                    handler_ms: ms,
+                                    latency_ms: ms,
+                                    bytes: body.len(),
+                                });
+                            }
                         });
                     }
                 }
@@ -257,61 +323,148 @@ fn accept_loop(
     queue.close();
 }
 
+/// How one connection was answered, as the worker loop needs it for
+/// metrics and the access log.
+struct Outcome {
+    /// Bounded route label (see [`handlers::route_label`]); `unframed`
+    /// when the request never parsed.
+    route: &'static str,
+    method: String,
+    path: String,
+    status: u16,
+    bytes: usize,
+}
+
 /// One worker shard: pop, frame, route, respond, until the queue is
-/// closed and drained.
-fn worker_loop(shard: usize, queue: &BoundedQueue<Job>, state: &ServerState, deadline: Duration) {
+/// closed and drained. Per request it records the queue-wait vs.
+/// handler split and the client-visible total on the canonical
+/// log-scale buckets, plus per-route/per-status counters.
+fn worker_loop(
+    shard: usize,
+    queue: &BoundedQueue<Job>,
+    state: &ServerState,
+    deadline: Duration,
+    log: Option<&AccessLog>,
+) {
     while let Some(job) = queue.pop() {
         #[allow(clippy::cast_precision_loss)]
         ntc_obs::gauge_set("serve.queue_depth", queue.depth() as f64);
-        let started = Instant::now();
-        {
+        let accepted = job.accepted;
+        let req_id = job.req_id;
+        let queue_wait_ms = accepted.elapsed().as_secs_f64() * 1e3;
+        let handler_started = Instant::now();
+        let outcome = {
             #[allow(clippy::cast_possible_truncation)]
-            let _span = ntc_obs::span("serve.request").with_shard(shard as u32);
-            serve_connection(job, state, deadline);
+            let _span = ntc_obs::span("serve.request")
+                .with_shard(shard as u32)
+                .with_request(req_id);
+            serve_connection(job, state, deadline)
+        };
+        let handler_ms = handler_started.elapsed().as_secs_f64() * 1e3;
+        let latency_ms = accepted.elapsed().as_secs_f64() * 1e3;
+        if ntc_obs::enabled() {
+            let bounds = ntc_obs::latency_bounds_ms();
+            ntc_obs::histogram_record("serve.queue_wait_ms", bounds, queue_wait_ms);
+            ntc_obs::histogram_record("serve.handler_ms", bounds, handler_ms);
+            ntc_obs::histogram_record("serve.latency_ms", bounds, latency_ms);
+            ntc_obs::counter_add(
+                &format!("serve.route.{}.status.{}", outcome.route, outcome.status),
+                1,
+            );
+            ntc_obs::histogram_record(
+                &format!("serve.route.{}.latency_ms", outcome.route),
+                bounds,
+                latency_ms,
+            );
         }
-        let latency_ms = started.elapsed().as_secs_f64() * 1e3;
-        ntc_obs::histogram_record("serve.latency_ms", &LATENCY_BOUNDS_MS, latency_ms);
+        if let Some(log) = log {
+            #[allow(clippy::cast_possible_truncation)]
+            log.log(&AccessRecord {
+                req: req_id,
+                shard: Some(shard as u32),
+                method: outcome.method,
+                path: outcome.path,
+                status: outcome.status,
+                queue_wait_ms,
+                handler_ms,
+                latency_ms,
+                bytes: outcome.bytes,
+            });
+        }
     }
 }
 
 /// Frames and answers one connection.
-fn serve_connection(job: Job, state: &ServerState, deadline: Duration) {
-    let Job { mut stream, accepted } = job;
+fn serve_connection(job: Job, state: &ServerState, deadline: Duration) -> Outcome {
+    let Job { mut stream, accepted, req_id } = job;
+    let unframed = |status: u16, bytes: usize| Outcome {
+        route: "unframed",
+        method: String::new(),
+        path: String::new(),
+        status,
+        bytes,
+    };
     // Time spent queued counts against the deadline: a request that
     // waited it out is stale — answer 503 rather than burn a shard on
     // an answer nobody is waiting for.
     let elapsed = accepted.elapsed();
     if elapsed >= deadline {
         ntc_obs::counter_add("serve.deadline_missed", 1);
-        let _ = http::write_response(
+        let body = error_body("deadline", "request spent its deadline queued");
+        let _ = http::write_response_full(
             &mut stream,
             503,
-            &error_body("deadline", "request spent its deadline queued"),
+            "application/json",
+            Some(req_id),
+            &body,
         );
-        return;
+        return unframed(503, body.len());
     }
     let _ = stream.set_read_timeout(Some(deadline - elapsed));
-    let (status, body) = match http::read_request(&mut stream) {
-        Ok(req) => handlers::handle(&req, state),
-        Err(http::FrameError::TooLarge(what)) => {
-            (413, error_body("too_large", &format!("{what} exceeds the accepted bound")))
+    let (reply, method, path) = match http::read_request(&mut stream) {
+        Ok(req) => {
+            let reply = handlers::handle(&req, state);
+            (reply, req.method, req.path)
         }
-        Err(http::FrameError::Malformed(what)) => (400, error_body("malformed_request", what)),
+        Err(http::FrameError::TooLarge(what)) => (
+            handlers::Reply::json(
+                413,
+                error_body("too_large", &format!("{what} exceeds the accepted bound")),
+            ),
+            String::new(),
+            String::new(),
+        ),
+        Err(http::FrameError::Malformed(what)) => (
+            handlers::Reply::json(400, error_body("malformed_request", what)),
+            String::new(),
+            String::new(),
+        ),
         Err(http::FrameError::Io(_)) => {
             // Peer went silent or away; nothing useful to answer, but
             // try a 503 in case it is merely slow.
             ntc_obs::counter_add("serve.deadline_missed", 1);
-            let _ = http::write_response(
+            let body = error_body("deadline", "request not received within the deadline");
+            let _ = http::write_response_full(
                 &mut stream,
                 503,
-                &error_body("deadline", "request not received within the deadline"),
+                "application/json",
+                Some(req_id),
+                &body,
             );
-            return;
+            return unframed(503, body.len());
         }
     };
-    if status >= 400 {
+    if reply.status >= 400 {
         ntc_obs::counter_add("serve.errors", 1);
     }
     ntc_obs::counter_add("serve.responses", 1);
-    let _ = http::write_response(&mut stream, status, &body);
+    let _ = http::write_response_full(
+        &mut stream,
+        reply.status,
+        reply.content_type,
+        Some(req_id),
+        &reply.body,
+    );
+    let route = if path.is_empty() { "unframed" } else { handlers::route_label(&path) };
+    Outcome { route, method, path, status: reply.status, bytes: reply.body.len() }
 }

@@ -10,10 +10,21 @@ use std::time::Duration;
 use ntc::artifact::json::{parse, JsonValue};
 use ntc_serve::{ServeConfig, Server};
 
-/// A parsed response: status code and body.
+/// A parsed response: status code, raw header block, and body.
 struct Response {
     status: u16,
+    head: String,
     body: String,
+}
+
+impl Response {
+    /// The value of a response header, case-insensitive on the name.
+    fn header(&self, name: &str) -> Option<&str> {
+        self.head.lines().find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            k.eq_ignore_ascii_case(name).then(|| v.trim())
+        })
+    }
 }
 
 /// Sends one request and reads the response to EOF
@@ -31,11 +42,11 @@ fn roundtrip(addr: SocketAddr, raw: &str) -> Response {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("no status line in {text:?}"));
-    let body = text
+    let (head, body) = text
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    Response { status, body }
+    Response { status, head, body }
 }
 
 fn get(addr: SocketAddr, path: &str) -> Response {
@@ -73,10 +84,15 @@ fn list_run_query_flow() {
     let server = quick_server();
     let addr = server.addr();
 
-    // Liveness first.
+    // Liveness first: ok plus the store/format version of this build.
     let health = get(addr, "/healthz");
     assert_eq!(health.status, 200);
-    assert_eq!(health.body, r#"{"ok":true}"#);
+    let parsed = parse(&health.body).expect("healthz parses");
+    assert_eq!(parsed.get("ok"), Some(&JsonValue::Bool(true)));
+    assert_eq!(
+        parsed.get("version").and_then(JsonValue::as_str),
+        Some(ntc::store::store_version().as_str())
+    );
 
     // List: every registered experiment, with paper references.
     let list = get(addr, "/experiments");
@@ -249,10 +265,185 @@ fn metrics_report_serve_counters() {
     let _ = post(addr, "/query", r#"{"kind":"energy","model":"cots_40nm","vdd":0.6}"#);
     let metrics = get(addr, "/metrics");
     assert_eq!(metrics.status, 200);
-    for needle in ["serve.responses", "serve.queries", "serve.cache.hit_rate"] {
+    for needle in [
+        "serve.responses",
+        "serve.queries",
+        "serve.cache.hit_rate",
+        "serve.latency_ms",
+        "serve.queue_wait_ms",
+        "serve.handler_ms",
+        "serve.route.query.status.200",
+        "serve.route.query.latency_ms",
+    ] {
         assert!(metrics.body.contains(needle), "`{needle}` missing from {}", metrics.body);
     }
     server.shutdown();
+}
+
+#[test]
+fn responses_carry_distinct_request_ids() {
+    let server = quick_server();
+    let addr = server.addr();
+    let a = get(addr, "/healthz");
+    let b = get(addr, "/healthz");
+    let id_a: u64 = a
+        .header("X-Request-Id")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no X-Request-Id in {}", a.head));
+    let id_b: u64 = b.header("X-Request-Id").and_then(|v| v.parse().ok()).expect("second id");
+    assert_ne!(id_a, id_b, "request ids are unique per accepted connection");
+    server.shutdown();
+}
+
+/// One line of Prometheus 0.0.4 text exposition: either a `# TYPE`
+/// comment or `name[{le="..."}] value`.
+fn assert_valid_prom_line(line: &str) {
+    if let Some(rest) = line.strip_prefix('#') {
+        assert!(
+            rest.starts_with(" TYPE "),
+            "only TYPE comments are emitted: {line:?}"
+        );
+        return;
+    }
+    let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line:?}"));
+    assert!(
+        value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),
+        "unparsable sample value in {line:?}"
+    );
+    let name = series.split('{').next().unwrap();
+    assert!(!name.is_empty(), "empty metric name: {line:?}");
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}"
+    );
+    assert!(
+        !name.chars().next().unwrap().is_ascii_digit(),
+        "metric name starts with a digit: {name:?}"
+    );
+    if let Some(labels) = series.strip_prefix(name) {
+        if !labels.is_empty() {
+            assert!(
+                labels.starts_with("{le=\"") && labels.ends_with("\"}"),
+                "unexpected label set {labels:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_stay_consistent_under_a_concurrent_hammer() {
+    // 32 clients hammer mixed routes while /metrics is scraped in both
+    // formats: every JSON snapshot must parse, every prom line must be
+    // grammatical, and the content types must match the format asked
+    // for. (Cross-thread byte-identity of rendered snapshots is covered
+    // by `metrics_json_is_byte_identical_across_thread_counts` in the
+    // workspace observability suite.)
+    ntc_obs::enable();
+    let server = quick_server();
+    let addr = server.addr();
+    let clients: Vec<_> = (0..32)
+        .map(|i| {
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    if i % 2 == 0 {
+                        let r = post(
+                            addr,
+                            "/query",
+                            r#"{"kind":"energy","model":"cots_40nm","vdd":0.6}"#,
+                        );
+                        assert_eq!(r.status, 200);
+                    } else {
+                        let r = get(addr, "/healthz");
+                        assert_eq!(r.status, 200);
+                    }
+                }
+            })
+        })
+        .collect();
+    for _ in 0..8 {
+        let json = get(addr, "/metrics");
+        assert_eq!(json.status, 200);
+        assert_eq!(json.header("Content-Type"), Some("application/json"));
+        assert!(parse(&json.body).is_ok(), "mid-hammer JSON snapshot parses");
+
+        let prom = get(addr, "/metrics?format=prom");
+        assert_eq!(prom.status, 200);
+        assert_eq!(
+            prom.header("Content-Type"),
+            Some("text/plain; version=0.0.4; charset=utf-8")
+        );
+        assert!(prom.body.lines().count() > 0);
+        for line in prom.body.lines() {
+            assert_valid_prom_line(line);
+        }
+        assert!(
+            prom.body.contains("serve_responses_total"),
+            "prom names are sanitized to underscores"
+        );
+    }
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    // Quiescent now: two scrapes with no traffic in between must be
+    // byte-identical in both formats (deterministic rendering).
+    let j1 = get(addr, "/metrics").body;
+    let j2 = get(addr, "/metrics").body;
+    // The /metrics scrape itself advances serve.* counters, so strip
+    // volatile serve-layer lines and compare the rest byte-for-byte.
+    let stable = |s: &str| -> String {
+        s.lines().filter(|l| !l.contains("\"serve.")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(stable(&j1), stable(&j2), "non-serve metrics identical across scrapes");
+    server.shutdown();
+}
+
+#[test]
+fn access_log_records_every_request_off_the_hot_path() {
+    let path = std::env::temp_dir()
+        .join(format!("ntc-serve-e2e-access-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = Server::bind(ServeConfig {
+        workers: 2,
+        access_log: Some(path.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind with access log");
+    let addr = server.addr();
+    let ok = get(addr, "/healthz");
+    assert_eq!(ok.status, 200);
+    let req_id: u64 = ok.header("X-Request-Id").and_then(|v| v.parse().ok()).expect("id");
+    let q = post(addr, "/query", r#"{"kind":"energy","model":"cots_40nm","vdd":0.6}"#);
+    assert_eq!(q.status, 200);
+    let missing = get(addr, "/nope");
+    assert_eq!(missing.status, 404);
+    // Shutdown flushes the bounded log channel before returning.
+    server.shutdown();
+
+    let text = std::fs::read_to_string(&path).expect("access log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one line per request: {text}");
+    for line in &lines {
+        let v = parse(line).unwrap_or_else(|e| panic!("line not JSON ({e}): {line}"));
+        assert!(v.get("req").is_some());
+        assert!(v.get("status").is_some());
+        assert!(v.get("latency_ms").is_some());
+        assert!(v.get("queue_wait_ms").is_some());
+        assert!(v.get("handler_ms").is_some());
+    }
+    // The healthz line carries the id the client saw in X-Request-Id.
+    let healthz_line = lines
+        .iter()
+        .find(|l| l.contains("\"path\":\"/healthz\""))
+        .expect("healthz logged");
+    assert!(
+        healthz_line.contains(&format!("\"req\":{req_id}")),
+        "log line and response header share the id: {healthz_line}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"path\":\"/nope\"") && l.contains("\"status\":404")),
+        "404s are logged too: {text}"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

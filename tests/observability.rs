@@ -85,6 +85,7 @@ fn chrome_trace_golden_bytes() {
             start_ns: 1_500,
             dur_ns: 10_000,
             shard: None,
+            req: None,
             items: 0,
         },
         SpanRecord {
@@ -95,6 +96,7 @@ fn chrome_trace_golden_bytes() {
             start_ns: 2_000,
             dur_ns: 4_000,
             shard: Some(7),
+            req: None,
             items: 2_000,
         },
     ];
