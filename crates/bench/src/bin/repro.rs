@@ -12,6 +12,7 @@
 //! repro serve --port 0                           # HTTP/1.1 JSON query service
 //! repro bench-serve --duration-secs 5            # open-loop serve load sweep
 //! repro store stat --store st                    # store contents / gc
+//! repro status --store st --watch 2              # live fleet progress table
 //! ```
 //!
 //! `run` defaults to full paper-fidelity Monte-Carlo sizes (`--quick`
@@ -27,6 +28,11 @@
 //! processes split the 64-shard space via lock-file claims, and
 //! `--resume` serves already-published artifacts back byte-for-byte
 //! without recomputing.
+//!
+//! Every store-backed run also publishes an integrity-hashed event
+//! journal (`events/<worker>.jsonl`, heartbeat cadence `NTC_HEARTBEAT_MS`
+//! ms, default 1000) that `repro status` aggregates into a per-worker
+//! progress/liveness table — see DESIGN.md §18.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -61,8 +67,9 @@ fn usage() -> ! {
          repro serve [--addr <ip>] [--port <n>] [--workers <n>] [--queue <n>] \
          [--deadline-ms <n>] [--seed <n>] [--store <dir>] [--memo-cap <n>] [--access-log <file>]\n  \
          repro bench-serve [--rate <rps>] [--duration-secs <n>] [--connections <n>] \
-         [--run-every <n>] [--workers <n>] [--queue <n>] [--out <file>]\n  \
-         repro store stat|gc [--store <dir>]\n\
+         [--max-clients <n>] [--run-every <n>] [--workers <n>] [--queue <n>] [--out <file>]\n  \
+         repro store stat|gc [--store <dir>]\n  \
+         repro status [--store <dir>] [--watch <secs>] [--format text|json]\n\
          (--store defaults to the NTC_STORE environment variable when set)"
     );
     std::process::exit(2);
@@ -84,6 +91,7 @@ struct Options {
     store: Option<PathBuf>,
     resume: bool,
     shards: Option<(u32, u32)>,
+    watch: Option<u64>,
 }
 
 /// Whether a subcommand needs an explicit experiment selection.
@@ -109,6 +117,7 @@ fn parse_options(args: &[String], selection: Selection) -> Options {
         store: None,
         resume: false,
         shards: None,
+        watch: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -129,6 +138,10 @@ fn parse_options(args: &[String], selection: Selection) -> Options {
             "--shards" => match it.next().and_then(|s| parse_shard_range(s)) {
                 Some(range) => opts.shards = Some(range),
                 None => usage(),
+            },
+            "--watch" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(secs) if secs > 0 => opts.watch = Some(secs),
+                _ => usage(),
             },
             "--format" => {
                 opts.format = match it.next().map(String::as_str) {
@@ -349,6 +362,12 @@ fn cmd_run(opts: &Options) -> ExitCode {
         ntc_obs::enable();
     }
     let store = open_store(opts);
+    // Store-backed runs publish heartbeat journals fed by the progress
+    // tracker, which (like all telemetry) only collects while the obs
+    // layer is on. Artifact bytes are unaffected by contract.
+    if store.is_some() {
+        ntc_obs::enable();
+    }
     if (opts.resume || opts.shards.is_some()) && store.is_none() {
         eprintln!("--resume/--shards need a store: pass --store <dir> or set NTC_STORE");
         std::process::exit(2);
@@ -366,9 +385,26 @@ fn cmd_run(opts: &Options) -> ExitCode {
         },
         _ => None,
     };
-    if let Some(store) = &store {
-        ntc_stats::ckpt::install(Arc::new(store.sink(opts.shards)));
+    // Every store-backed run keeps an event journal in the store
+    // (`events/<worker>.jsonl`): claims, shard lifecycle, heartbeats.
+    // The journal decorates the checkpoint sink; disk flushes happen on
+    // the heartbeat ticker, never on the compute path.
+    let journal = store.as_ref().map(|store| {
+        let (lo, hi) = opts.shards.unwrap_or((0, u32::try_from(MC_SHARDS).unwrap_or(u32::MAX)));
+        let flush_ms = std::env::var("NTC_HEARTBEAT_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(ntc::journal::DEFAULT_FLUSH_MS);
+        ntc::journal::Journal::new(store, lo, hi, flush_ms)
+    });
+    if let (Some(store), Some(journal)) = (&store, &journal) {
+        ntc_stats::ckpt::install(Arc::new(ntc::journal::JournalSink::new(
+            store.sink(opts.shards),
+            Arc::clone(journal),
+        )));
     }
+    let heartbeat = journal.as_ref().map(|j| ntc::journal::Heartbeat::start(Arc::clone(j)));
     if let Some(dir) = &opts.out {
         // Create the output directory (with parents) up front so a
         // long run never fails at write time.
@@ -465,6 +501,15 @@ fn cmd_run(opts: &Options) -> ExitCode {
         eprintln!("wrote trace {}", path.display());
     }
     ntc_stats::ckpt::set_scope("");
+    if let Some(hb) = heartbeat {
+        hb.stop();
+    }
+    if let Some(j) = &journal {
+        // Terminal `done` marker: `repro status` distinguishes a
+        // finished worker from a stalled one by this event, not by
+        // journal age.
+        j.done();
+    }
     if store.is_some() {
         ntc_stats::ckpt::uninstall();
     }
@@ -754,6 +799,10 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
                 Some(n) if n > 0 => load.connections = n,
                 _ => usage(),
             },
+            "--max-clients" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => load.max_clients = n,
+                _ => usage(),
+            },
             "--run-every" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) => load.run_every = n,
                 None => usage(),
@@ -817,11 +866,12 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
         load.rate = rate.unwrap_or_else(|| (capacity * factor).max(1.0));
         let report = ntc_bench::loadgen::run_open_loop(&load);
         eprintln!(
-            "bench-serve: x{factor} target {:.0} req/s -> {:.0} ok/s, {} x503, {} errors, p999 {} ms",
+            "bench-serve: x{factor} target {:.0} req/s -> {:.0} ok/s, {} x503, {} errors, {} saturated, p999 {} ms",
             load.rate,
             report.achieved_rps(),
             report.rejected_503,
             report.http_errors + report.transport_errors,
+            report.saturated,
             q_json(&report.latency, 0.999),
         );
         if report.clean() {
@@ -835,7 +885,7 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
         let reject_rate = report.rejected_503 as f64 / (report.offered.max(1)) as f64;
         sweep_rows.push(format!(
             "{{\"factor\":{factor},\"target_rps\":{:.2},\"offered\":{},\"ok\":{},\
-             \"rejected_503\":{},\"http_errors\":{},\"transport_errors\":{},\
+             \"rejected_503\":{},\"http_errors\":{},\"transport_errors\":{},\"saturated\":{},\
              \"achieved_rps\":{:.2},\"error_rate\":{err_rate:.6},\"reject_rate\":{reject_rate:.6},\
              \"p50_ms\":{},\"p90_ms\":{},\"p99_ms\":{},\"p999_ms\":{}}}",
             load.rate,
@@ -844,6 +894,7 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
             report.rejected_503,
             report.http_errors,
             report.transport_errors,
+            report.saturated,
             report.achieved_rps(),
             q_json(&report.latency, 0.5),
             q_json(&report.latency, 0.9),
@@ -870,11 +921,13 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     let memo_hit_rate = if runs > 0.0 { counter("serve.run.memo_hit") / runs } else { 0.0 };
 
     let json = format!(
-        "{{\"schema\":\"ntc.bench.serve.v1\",\"connections\":{},\"duration_secs\":{},\
+        "{{\"schema\":\"ntc.bench.serve.v1\",\"connections\":{},\"max_clients\":{},\
+         \"duration_secs\":{},\
          \"run_every\":{},\"capacity_rps\":{capacity:.2},\"sustained_rps\":{sustained:.2},\
          \"cache\":{{\"query_hit_rate\":{:.4},\"run_memo_hit_rate\":{memo_hit_rate:.4},\
          \"store_hit_rate\":{store_hit_rate:.4}}},\"sweep\":[{}]}}\n",
         load.connections,
+        load.max_clients,
         load.duration.as_secs(),
         load.run_every,
         counter("serve.cache.hit_rate"),
@@ -923,13 +976,24 @@ fn cmd_store(args: &[String]) -> ExitCode {
     };
     match action.as_str() {
         "stat" => {
-            let s = store.stat();
             println!("store {}", store.root().display());
             println!("version {}", ntc::store::store_version());
-            println!("artifacts {} bytes {}", s.artifacts, s.artifact_bytes);
-            println!("checkpoints {} bytes {}", s.checkpoints, s.checkpoint_bytes);
-            println!("locks {}", s.locks);
-            println!("tmp {}", s.tmp);
+            // Ages come from file mtimes: "newest" is the most recent
+            // write (how fresh the store is), "oldest" the first.
+            let age = |a: Option<u64>| a.map_or_else(|| "-".to_string(), |s| format!("{s}s"));
+            for row in store.age_summary() {
+                // The on-disk subtree is `events/`; the operator-facing
+                // name for its contents is worker journals.
+                let label = if row.kind == "events" { "journals" } else { row.kind };
+                println!(
+                    "{label} {} bytes {} ({}) newest {} oldest {}",
+                    row.count,
+                    row.bytes,
+                    ntc::store::human_bytes(row.bytes),
+                    age(row.newest_secs),
+                    age(row.oldest_secs),
+                );
+            }
             ExitCode::SUCCESS
         }
         "gc" => match store.gc() {
@@ -946,6 +1010,151 @@ fn cmd_store(args: &[String]) -> ExitCode {
     }
 }
 
+/// Renders `null` for a missing ETA, seconds (3 decimals) otherwise.
+fn eta_json(eta: Option<f64>) -> String {
+    eta.map_or_else(|| "null".to_string(), |e| format!("{e:.3}"))
+}
+
+/// One `ntc.status.v1` JSON document: per-worker rows plus the merged
+/// fleet view and store-wide claim/checkpoint state.
+fn render_status_json(store: &Store, fleet: &ntc::journal::FleetStatus, now_ms: u64) -> String {
+    let workers: Vec<String> = fleet
+        .workers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"worker\":\"{}\",\"pid\":{},\"lo\":{},\"hi\":{},\"state\":\"{}\",\
+                 \"flush_ms\":{},\"shards_done\":{},\"shards_total\":{},\"trials_done\":{},\
+                 \"trials_total\":{},\"restored\":{},\"computed\":{},\"samples_per_sec\":{:.3},\
+                 \"eta_secs\":{},\"heartbeat_age_ms\":{},\"checkpoint_age_ms\":{},\
+                 \"events\":{},\"corrupt_lines\":{},\"done\":{}}}",
+                w.worker,
+                w.pid,
+                w.lo,
+                w.hi,
+                w.state(now_ms).name(),
+                w.flush_ms,
+                w.progress.shards_done,
+                w.progress.shards_total,
+                w.progress.trials_done,
+                w.progress.trials_total,
+                w.progress.restored,
+                w.progress.computed,
+                w.progress.samples_per_sec,
+                eta_json(w.eta_secs()),
+                w.heartbeat_age_ms(now_ms),
+                w.checkpoint_age_ms(now_ms)
+                    .map_or_else(|| "null".to_string(), |a| a.to_string()),
+                w.events,
+                w.corrupt_lines,
+                w.done,
+            )
+        })
+        .collect();
+    let claims: Vec<String> =
+        fleet.claims.iter().map(|(lo, hi)| format!("[{lo},{hi}]")).collect();
+    let merged = fleet.merged();
+    let fleet_eta = if fleet.workers.iter().all(|w| w.done) {
+        Some(0.0)
+    } else {
+        merged.eta_secs()
+    };
+    format!(
+        "{{\"schema\":\"ntc.status.v1\",\"store\":\"{}\",\"now_ms\":{now_ms},\
+         \"workers\":[{}],\"claims\":[{}],\"checkpoints\":{},\"checkpoint_bytes\":{},\
+         \"fleet\":{{\"shards_done\":{},\"shards_total\":{},\"trials_done\":{},\
+         \"trials_total\":{},\"samples_per_sec\":{:.3},\"eta_secs\":{},\"stalled\":{}}}}}\n",
+        store.root().display(),
+        workers.join(","),
+        claims.join(","),
+        fleet.checkpoints,
+        fleet.checkpoint_bytes,
+        merged.shards_done,
+        merged.shards_total,
+        merged.trials_done,
+        merged.trials_total,
+        merged.samples_per_sec,
+        eta_json(fleet_eta),
+        fleet.stalled(now_ms),
+    )
+}
+
+/// The human table behind `repro status` (and `--watch`).
+fn render_status_text(store: &Store, fleet: &ntc::journal::FleetStatus, now_ms: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "store {} — {} worker(s), {} stalled\n",
+        store.root().display(),
+        fleet.workers.len(),
+        fleet.stalled(now_ms)
+    ));
+    out.push_str(&format!(
+        "{:<20} {:<9} {:>11} {:>21} {:>12} {:>9} {:>9} {:>10}  state\n",
+        "worker", "shards", "done/total", "trials done/total", "samples/s", "ckpt age", "hb age", "eta"
+    ));
+    for w in &fleet.workers {
+        let eta = w
+            .eta_secs()
+            .map_or_else(|| "-".to_string(), |e| format!("{e:.1}s"));
+        let ckpt_age = w
+            .checkpoint_age_ms(now_ms)
+            .map_or_else(|| "-".to_string(), |a| format!("{:.1}s", a as f64 / 1e3));
+        out.push_str(&format!(
+            "{:<20} {:<9} {:>11} {:>21} {:>12.1} {:>9} {:>9} {:>10}  {}\n",
+            w.worker,
+            format!("{}..{}", w.lo, w.hi),
+            format!("{}/{}", w.progress.shards_done, w.progress.shards_total),
+            format!("{}/{}", w.progress.trials_done, w.progress.trials_total),
+            w.progress.samples_per_sec,
+            ckpt_age,
+            format!("{:.1}s", w.heartbeat_age_ms(now_ms) as f64 / 1e3),
+            eta,
+            w.state(now_ms).name(),
+        ));
+    }
+    let merged = fleet.merged();
+    let claims: Vec<String> =
+        fleet.claims.iter().map(|(lo, hi)| format!("{lo}..{hi}")).collect();
+    out.push_str(&format!(
+        "fleet: {}/{} shards, {}/{} trials, {:.1} samples/s; {} checkpoints ({}); claims: {}\n",
+        merged.shards_done,
+        merged.shards_total,
+        merged.trials_done,
+        merged.trials_total,
+        merged.samples_per_sec,
+        fleet.checkpoints,
+        ntc::store::human_bytes(fleet.checkpoint_bytes),
+        if claims.is_empty() { "none".to_string() } else { claims.join(", ") },
+    ));
+    out
+}
+
+fn cmd_status(args: &[String]) -> ExitCode {
+    let opts = parse_options(args, Selection::Optional);
+    if opts.format == Format::Csv || !opts.ids.is_empty() {
+        usage();
+    }
+    let Some(store) = open_store(&opts) else {
+        eprintln!("no store: pass --store <dir> or set NTC_STORE");
+        std::process::exit(2);
+    };
+    loop {
+        let fleet = ntc::journal::fleet_status(&store);
+        let now_ms = ntc::journal::now_ms();
+        match opts.format {
+            Format::Json => print!("{}", render_status_json(&store, &fleet, now_ms)),
+            _ => print!("{}", render_status_text(&store, &fleet, now_ms)),
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        match opts.watch {
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+            None => break,
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -957,6 +1166,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,15 +1,27 @@
 //! Open-loop HTTP load generator for the query service.
 //!
 //! The generator models an **open** system: request *i* is due at
-//! `start + i/rate` whether or not earlier requests have finished. Each
-//! client thread owns every `connections`-th arrival, sleeps until the
-//! intended send time, then connects, sends, and reads the full
-//! response. Latency is measured **from the intended send time**, not
-//! from when the socket call happened — a generator that has fallen
-//! behind schedule charges the backlog to the measurement instead of
-//! silently coordinating with the server's slowness (the
-//! coordinated-omission trap that makes closed-loop "p99"s look
-//! flattering under saturation).
+//! `start + i/rate` whether or not earlier requests have finished. A
+//! dispatcher thread walks the arrival schedule and hands each arrival
+//! to a pool of client threads that **grows on demand**: when every
+//! client is mid-request at an arrival instant, a new client is spawned
+//! (up to [`LoadConfig::max_clients`]), so in-flight concurrency tracks
+//! the server's actual backlog instead of being silently clamped at the
+//! initial pool size. A fixed pool of `n` clients can never hold more
+//! than `n` requests open — at 10× capacity that degenerates into a
+//! closed loop that fills the server's queue once and then politely
+//! waits, reporting zero 503s and seconds-long "latencies" that are
+//! really client-side queueing. Arrivals that find the pool at its cap
+//! are counted in [`LoadReport::saturated`] — nonzero means the
+//! *generator* was the bottleneck and the overload numbers understate
+//! the offered concurrency.
+//!
+//! Latency is measured **from the intended send time**, not from when
+//! the socket call happened — a generator that has fallen behind
+//! schedule charges the backlog to the measurement instead of silently
+//! coordinating with the server's slowness (the coordinated-omission
+//! trap that makes closed-loop "p99"s look flattering under
+//! saturation).
 //!
 //! Latencies land in the same log-spaced buckets the server's own
 //! `serve.latency_ms` histogram uses ([`ntc_obs::latency_bounds_ms`]),
@@ -40,8 +52,12 @@ pub struct LoadConfig {
     pub rate: f64,
     /// How long arrivals are generated for.
     pub duration: Duration,
-    /// Client threads (each owns an interleaved slice of arrivals).
+    /// Initial client threads; the pool grows past this on demand.
     pub connections: usize,
+    /// Hard cap on the client pool (≥ `connections`). Arrivals beyond
+    /// this many in-flight requests are delayed and counted as
+    /// [`LoadReport::saturated`].
+    pub max_clients: usize,
     /// Every `run_every`-th request is a `POST /run` (0 disables).
     pub run_every: usize,
     /// Per-request socket read timeout.
@@ -55,6 +71,7 @@ impl Default for LoadConfig {
             rate: 100.0,
             duration: Duration::from_secs(2),
             connections: 8,
+            max_clients: 256,
             run_every: 16,
             timeout: Duration::from_secs(30),
         }
@@ -76,6 +93,12 @@ pub struct LoadReport {
     pub http_errors: u64,
     /// Connect/read/parse failures before a status line arrived.
     pub transport_errors: u64,
+    /// Arrivals that found every client busy with the pool at
+    /// [`LoadConfig::max_clients`]. These were still sent (late, with
+    /// the delay charged to their latency sample), but nonzero means
+    /// the generator — not the server — limited the offered
+    /// concurrency; raise `max_clients` for an honest overload number.
+    pub saturated: u64,
     /// Wall-clock span from first intended arrival to last response.
     pub elapsed: Duration,
     /// Client-observed latency (ms, from intended send time) in the
@@ -160,8 +183,62 @@ fn send_one(
     text.split(' ').nth(1).and_then(|s| s.parse().ok())
 }
 
+/// Everything a client thread shares with the dispatcher.
+struct ClientShared {
+    addr: SocketAddr,
+    timeout: Duration,
+    run_every: usize,
+    jobs: std::sync::Mutex<std::sync::mpsc::Receiver<(u64, Instant)>>,
+    inflight: AtomicU64,
+    hist: Histogram,
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    http_errors: AtomicU64,
+    transport_errors: AtomicU64,
+    answered: AtomicU64,
+}
+
+fn spawn_client(shared: &Arc<ClientShared>) -> std::thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || loop {
+        // Hold the lock only to draw the next arrival, never during I/O.
+        let job = shared.jobs.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        let Ok((i, intended)) = job else { break };
+        let (method, target, body) = request_for(i, shared.run_every);
+        let status = send_one(shared.addr, shared.timeout, method, target, &body);
+        let latency_ms = intended.elapsed().as_secs_f64() * 1e3;
+        match status {
+            Some(s) => {
+                shared.answered.fetch_add(1, Ordering::Relaxed);
+                shared.hist.record(latency_ms);
+                match s {
+                    200..=299 => {
+                        shared.ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    503 => {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        shared.http_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            None => {
+                shared.transport_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    })
+}
+
 /// Runs one open-loop measurement and blocks until every scheduled
 /// arrival has been resolved (sent and answered, or failed).
+///
+/// The dispatcher sleeps until each arrival's intended send time (when
+/// behind schedule it dispatches immediately and the lateness lands in
+/// the latency sample — coordinated-omission-safe), then hands the
+/// arrival to an idle client, growing the pool by one whenever every
+/// client is already mid-request and the cap allows it.
 ///
 /// # Panics
 ///
@@ -172,77 +249,60 @@ pub fn run_open_loop(config: &LoadConfig) -> LoadReport {
     assert!(config.connections > 0, "need at least one connection");
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let offered = (config.rate * config.duration.as_secs_f64()).floor().max(1.0) as u64;
+    let max_clients = config.max_clients.max(config.connections);
 
-    let hist = Arc::new(Histogram::new(ntc_obs::latency_bounds_ms()));
-    let ok = Arc::new(AtomicU64::new(0));
-    let rejected = Arc::new(AtomicU64::new(0));
-    let http_errors = Arc::new(AtomicU64::new(0));
-    let transport_errors = Arc::new(AtomicU64::new(0));
-    let answered = Arc::new(AtomicU64::new(0));
+    let (job_tx, job_rx) = std::sync::mpsc::channel::<(u64, Instant)>();
+    let shared = Arc::new(ClientShared {
+        addr: config.addr,
+        timeout: config.timeout,
+        run_every: config.run_every,
+        jobs: std::sync::Mutex::new(job_rx),
+        inflight: AtomicU64::new(0),
+        hist: Histogram::new(ntc_obs::latency_bounds_ms()),
+        ok: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        http_errors: AtomicU64::new(0),
+        transport_errors: AtomicU64::new(0),
+        answered: AtomicU64::new(0),
+    });
+    let mut clients: Vec<_> = (0..config.connections).map(|_| spawn_client(&shared)).collect();
 
     let start = Instant::now() + Duration::from_millis(20);
-    let workers: Vec<_> = (0..config.connections)
-        .map(|t| {
-            let config = config.clone();
-            let hist = Arc::clone(&hist);
-            let ok = Arc::clone(&ok);
-            let rejected = Arc::clone(&rejected);
-            let http_errors = Arc::clone(&http_errors);
-            let transport_errors = Arc::clone(&transport_errors);
-            let answered = Arc::clone(&answered);
-            std::thread::spawn(move || {
-                let mut i = t as u64;
-                while i < offered {
-                    #[allow(clippy::cast_precision_loss)]
-                    let intended = start + Duration::from_secs_f64(i as f64 / config.rate);
-                    // Sleep only when ahead of schedule; when behind,
-                    // send immediately and let the lateness show up in
-                    // the latency sample (coordinated-omission-safe).
-                    let now = Instant::now();
-                    if intended > now {
-                        std::thread::sleep(intended - now);
-                    }
-                    let (method, target, body) = request_for(i, config.run_every);
-                    let status = send_one(config.addr, config.timeout, method, target, &body);
-                    let latency_ms = intended.elapsed().as_secs_f64() * 1e3;
-                    match status {
-                        Some(s) => {
-                            answered.fetch_add(1, Ordering::Relaxed);
-                            hist.record(latency_ms);
-                            match s {
-                                200..=299 => {
-                                    ok.fetch_add(1, Ordering::Relaxed);
-                                }
-                                503 => {
-                                    rejected.fetch_add(1, Ordering::Relaxed);
-                                }
-                                _ => {
-                                    http_errors.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                        }
-                        None => {
-                            transport_errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    i += config.connections as u64;
-                }
-            })
-        })
-        .collect();
-    for w in workers {
-        let _ = w.join();
+    let mut saturated = 0u64;
+    for i in 0..offered {
+        #[allow(clippy::cast_precision_loss)]
+        let intended = start + Duration::from_secs_f64(i as f64 / config.rate);
+        let now = Instant::now();
+        if intended > now {
+            std::thread::sleep(intended - now);
+        }
+        if shared.inflight.load(Ordering::Acquire) >= clients.len() as u64 {
+            if clients.len() < max_clients {
+                clients.push(spawn_client(&shared));
+            } else {
+                saturated += 1;
+            }
+        }
+        shared.inflight.fetch_add(1, Ordering::AcqRel);
+        // Receiver outlives every send: clients only exit on a closed
+        // channel, which requires this sender dropped first.
+        let _ = job_tx.send((i, intended));
+    }
+    drop(job_tx);
+    for c in clients {
+        let _ = c.join();
     }
     let elapsed = start.elapsed();
     LoadReport {
         offered,
-        answered: answered.load(Ordering::Relaxed),
-        ok: ok.load(Ordering::Relaxed),
-        rejected_503: rejected.load(Ordering::Relaxed),
-        http_errors: http_errors.load(Ordering::Relaxed),
-        transport_errors: transport_errors.load(Ordering::Relaxed),
+        answered: shared.answered.load(Ordering::Relaxed),
+        ok: shared.ok.load(Ordering::Relaxed),
+        rejected_503: shared.rejected.load(Ordering::Relaxed),
+        http_errors: shared.http_errors.load(Ordering::Relaxed),
+        transport_errors: shared.transport_errors.load(Ordering::Relaxed),
+        saturated,
         elapsed,
-        latency: hist.snapshot(),
+        latency: shared.hist.snapshot(),
     }
 }
 
@@ -319,6 +379,7 @@ mod tests {
             rejected_503: 1,
             http_errors: 0,
             transport_errors: 0,
+            saturated: 0,
             elapsed: Duration::from_secs(1),
             latency: snap,
         };

@@ -470,3 +470,76 @@ fn bench_serve_smoke_writes_a_clean_report() {
         assert!(sweep[0].get(key).is_some(), "sweep rows carry {key}: {text}");
     }
 }
+
+#[test]
+fn status_aggregates_worker_journals_in_text_and_json() {
+    use ntc::artifact::json::JsonValue;
+    let store = scratch("status_cli");
+    let store_s = store.to_str().unwrap();
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--store", store_s, "--shards", "0..8",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = repro_clean_env(&["status", "--store", store_s]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("1 worker(s)"), "{text}");
+    assert!(text.contains("0..8"), "worker range shown: {text}");
+    assert!(text.contains("done"), "finished worker reads done: {text}");
+
+    let out = repro_clean_env(&["status", "--store", store_s, "--format", "json"]);
+    assert!(out.status.success(), "{out:?}");
+    let doc = ntc::artifact::json::parse(&stdout(&out)).expect("status JSON parses");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("ntc.status.v1")
+    );
+    let workers = doc.get("workers").and_then(JsonValue::as_arr).expect("workers array");
+    assert_eq!(workers.len(), 1);
+    let w = &workers[0];
+    assert_eq!(w.get("lo").and_then(JsonValue::as_num), Some(0.0));
+    assert_eq!(w.get("hi").and_then(JsonValue::as_num), Some(8.0));
+    assert_eq!(w.get("state").and_then(JsonValue::as_str), Some("done"));
+    assert_eq!(w.get("done"), Some(&JsonValue::Bool(true)));
+    let total = w.get("shards_total").and_then(JsonValue::as_num).unwrap();
+    assert!(total > 0.0, "done worker reports its totals: {total}");
+    assert_eq!(w.get("shards_done").and_then(JsonValue::as_num), Some(total));
+    assert_eq!(w.get("eta_secs").and_then(JsonValue::as_num), Some(0.0));
+    assert_eq!(
+        doc.get("fleet").and_then(|f| f.get("stalled")).and_then(JsonValue::as_num),
+        Some(0.0)
+    );
+}
+
+#[test]
+fn status_without_a_store_is_a_usage_error() {
+    let out = repro_clean_env(&["status"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(stderr(&out).contains("--store"), "{}", stderr(&out));
+}
+
+#[test]
+fn store_stat_renders_human_sizes_ages_and_journals() {
+    let store = scratch("store_stat_human");
+    let store_s = store.to_str().unwrap();
+    let out = repro_clean_env(&[
+        "run", "fig5", "--quick", "--store", store_s, "--shards", "0..8",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = repro_clean_env(&["store", "stat", "--store", store_s]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    let journal_line = text.lines().find(|l| l.starts_with("journals")).unwrap_or_else(|| {
+        panic!("stat lists the worker journal: {text}")
+    });
+    assert!(journal_line.contains("journals 1"), "{journal_line}");
+    for label in ["artifacts", "checkpoints", "locks", "journals"] {
+        assert!(text.contains(label), "per-kind row for {label}: {text}");
+    }
+    let ckpt_line = text.lines().find(|l| l.starts_with("checkpoints")).unwrap();
+    assert!(ckpt_line.contains("KiB)") || ckpt_line.contains("B)"), "human size: {ckpt_line}");
+    assert!(ckpt_line.contains("newest"), "age summary: {ckpt_line}");
+    assert!(ckpt_line.contains("oldest"), "age summary: {ckpt_line}");
+}

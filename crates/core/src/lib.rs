@@ -47,6 +47,7 @@ pub mod calculator;
 pub mod error;
 pub mod experiments;
 pub mod fit;
+pub mod journal;
 pub mod repro;
 pub mod monitor;
 pub mod parallel;

@@ -121,6 +121,9 @@ pub struct StoreStat {
     pub checkpoint_bytes: u64,
     /// Live claim lock files (or, from `gc`, locks swept).
     pub locks: usize,
+    /// Worker event journals (or, from `gc`, fully-corrupt journals
+    /// swept).
+    pub events: usize,
     /// Leftover tmp files (or, from `gc`, tmp files swept).
     pub tmp: usize,
 }
@@ -129,15 +132,52 @@ impl StoreStat {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} artifacts ({} B), {} checkpoints ({} B), {} locks, {} tmp",
+            "{} artifacts ({} B), {} checkpoints ({} B), {} locks, {} journals, {} tmp",
             self.artifacts,
             self.artifact_bytes,
             self.checkpoints,
             self.checkpoint_bytes,
             self.locks,
+            self.events,
             self.tmp
         )
     }
+}
+
+/// `1.5 KiB`-style rendering of a byte count (binary units, one
+/// decimal; exact integer below 1 KiB).
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["KiB", "MiB", "GiB", "TiB", "PiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let mut v = bytes as f64 / 1024.0;
+    let mut unit = UNITS[0];
+    for u in &UNITS[1..] {
+        if v < 1024.0 {
+            break;
+        }
+        v /= 1024.0;
+        unit = u;
+    }
+    format!("{v:.1} {unit}")
+}
+
+/// Per-kind (`artifacts` / `checkpoints` / `locks` / `events` / `tmp`)
+/// count, byte total and file-age extremes, from [`Store::age_summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindAges {
+    /// Which subtree this row describes.
+    pub kind: &'static str,
+    /// Files under the subtree.
+    pub count: usize,
+    /// Their byte total.
+    pub bytes: u64,
+    /// Age in seconds of the most recently modified file, when any.
+    pub newest_secs: Option<u64>,
+    /// Age in seconds of the least recently modified file, when any.
+    pub oldest_secs: Option<u64>,
 }
 
 fn io_err(context: &str, e: impl std::fmt::Display) -> NtcError {
@@ -158,7 +198,7 @@ impl Store {
     /// Opens (creating if needed) a store rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> Result<Store, NtcError> {
         let root = root.into();
-        for sub in ["artifacts", "checkpoints", "locks", "tmp"] {
+        for sub in ["artifacts", "checkpoints", "locks", "events", "tmp"] {
             fs::create_dir_all(root.join(sub))
                 .map_err(|e| io_err(&format!("store: create {}", root.join(sub).display()), e))?;
         }
@@ -289,6 +329,29 @@ impl Store {
         StoreSink { store: self.clone(), range }
     }
 
+    // -- worker journals ----------------------------------------------
+
+    /// Publishes a worker's event journal as `events/<worker>.jsonl`
+    /// (atomic tmp+rename; last flush wins, and every flush carries the
+    /// whole history, so that is always the freshest complete view).
+    pub fn put_journal(&self, worker: &str, bytes: &[u8]) -> Result<(), NtcError> {
+        self.publish(&self.root.join("events").join(format!("{worker}.jsonl")), bytes)
+    }
+
+    /// Every journal in the store as `(worker id, bytes)`, sorted by
+    /// worker id for deterministic iteration.
+    pub fn journals(&self) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = walk_files(&self.root.join("events"))
+            .into_iter()
+            .filter_map(|(p, _)| {
+                let worker = p.file_stem()?.to_string_lossy().into_owned();
+                Some((worker, fs::read(&p).ok()?))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     // -- claims --------------------------------------------------------
 
     /// Claims the shard range `[lo, hi)` for this process via a lock
@@ -378,8 +441,41 @@ impl Store {
             s.checkpoint_bytes += size;
         }
         s.locks = walk_files(&self.root.join("locks")).len();
+        s.events = walk_files(&self.root.join("events")).len();
         s.tmp = walk_files(&self.root.join("tmp")).len();
         s
+    }
+
+    /// Per-kind count/bytes/age summary (ages from file modification
+    /// times, relative to now) — what `repro store stat` renders.
+    pub fn age_summary(&self) -> Vec<KindAges> {
+        let now = std::time::SystemTime::now();
+        ["artifacts", "checkpoints", "locks", "events", "tmp"]
+            .into_iter()
+            .map(|kind| {
+                let mut row = KindAges {
+                    kind,
+                    count: 0,
+                    bytes: 0,
+                    newest_secs: None,
+                    oldest_secs: None,
+                };
+                for (p, size) in walk_files(&self.root.join(kind)) {
+                    row.count += 1;
+                    row.bytes += size;
+                    let age = fs::metadata(&p)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| now.duration_since(t).ok())
+                        .map(|d| d.as_secs());
+                    if let Some(a) = age {
+                        row.newest_secs = Some(row.newest_secs.map_or(a, |n| n.min(a)));
+                        row.oldest_secs = Some(row.oldest_secs.map_or(a, |o| o.max(a)));
+                    }
+                }
+                row
+            })
+            .collect()
     }
 
     /// Sweeps debris: tmp leftovers, stale claim locks, artifacts from
@@ -417,6 +513,19 @@ impl Store {
             if !intact && fs::remove_file(&p).is_ok() {
                 removed.checkpoints += 1;
                 removed.checkpoint_bytes += size;
+            }
+        }
+        // Journals whose every line fails verification are debris (a
+        // torn or rotted file with nothing salvageable). Journals with
+        // any intact line are history and are kept.
+        for (p, _) in walk_files(&self.root.join("events")) {
+            let salvageable = fs::read(&p).ok().is_some_and(|b| {
+                String::from_utf8_lossy(&b)
+                    .lines()
+                    .any(|l| !l.is_empty() && crate::journal::verify_line(l).is_some())
+            });
+            if !salvageable && fs::remove_file(&p).is_ok() {
+                removed.events += 1;
             }
         }
         Ok(removed)

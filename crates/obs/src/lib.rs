@@ -45,10 +45,18 @@
 //! directory (`store.hit` / `.miss` / `.put` / `.corrupt` for artifacts,
 //! `store.ckpt.hit` / `.miss` / `.put` for checkpoints). `ntc-serve`'s
 //! bounded run-memo counts evictions in `serve.cache.evictions`.
+//!
+//! The fleet-telemetry layer (DESIGN.md §18) adds `progress.*` — live
+//! sweep gauges published by the [`progress`] tracker
+//! (`progress.shards_done` / `.shards_total`, `progress.trials_done` /
+//! `.trials_total`, `progress.samples_per_sec`, `progress.eta_secs`) —
+//! and the `worker.*` family materialized by the status aggregator
+//! from store-backed worker journals rather than from this registry.
 
 pub mod export;
 pub mod latency;
 pub mod metrics;
+pub mod progress;
 pub mod provenance;
 pub mod span;
 
@@ -57,6 +65,7 @@ pub use export::{
 };
 pub use latency::{latency_bounds_ms, log_bounds, LATENCY_MAX_MS, LATENCY_MIN_MS, LATENCY_PER_DECADE};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot};
+pub use progress::ProgressSnapshot;
 pub use provenance::{version, Provenance};
 pub use span::{current_span, span, take_spans, Span, SpanId, SpanRecord};
 

@@ -17,6 +17,7 @@
 //! | POST   | `/query`          | fine-grained model queries (single/batch) |
 //! | GET    | `/healthz`        | liveness probe + store/format version     |
 //! | GET    | `/metrics`        | `ntc-obs` snapshot (`?format=json\|prom`) |
+//! | GET    | `/progress`       | sweep progress: in-process + store fleet  |
 //!
 //! Errors are structured: every non-2xx body is
 //! `{"error":{"kind":..., "message":...}}` with the stable
@@ -184,6 +185,7 @@ pub fn route_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "healthz",
         "/metrics" => "metrics",
+        "/progress" => "progress",
         "/experiments" => "experiments",
         "/run" => "run",
         "/query" => "query",
@@ -370,6 +372,9 @@ fn handle_metrics(req: &Request, state: &ServerState) -> Reply {
     // scripts don't have to recompute it.
     let stats = state.models.cache_stats();
     ntc_obs::gauge_set("serve.cache.hit_rate", stats.hit_rate());
+    // Mirror sweep progress into the `progress.*` gauges so the
+    // Prometheus exposition carries it without a second scrape target.
+    ntc_obs::progress::publish_gauges();
     match req.query_param("format") {
         None | Some("json") => {
             Reply::json(200, ntc_obs::metrics_json(&ntc_obs::metrics_snapshot()))
@@ -389,6 +394,71 @@ fn handle_metrics(req: &Request, state: &ServerState) -> Reply {
     }
 }
 
+fn snapshot_json(s: &ntc_obs::ProgressSnapshot) -> JsonValue {
+    #[allow(clippy::cast_precision_loss)]
+    JsonValue::Obj(vec![
+        ("shards_done".into(), JsonValue::num(s.shards_done as f64)),
+        ("shards_total".into(), JsonValue::num(s.shards_total as f64)),
+        ("trials_done".into(), JsonValue::num(s.trials_done as f64)),
+        ("trials_total".into(), JsonValue::num(s.trials_total as f64)),
+        ("restored".into(), JsonValue::num(s.restored as f64)),
+        ("computed".into(), JsonValue::num(s.computed as f64)),
+        ("samples_per_sec".into(), JsonValue::num(s.samples_per_sec)),
+        ("eta_secs".into(), s.eta_secs().map_or(JsonValue::Null, JsonValue::num)),
+    ])
+}
+
+/// `GET /progress` — live sweep progress: the in-process tracker this
+/// server updates while computing `/run`s, plus (when the server is
+/// store-backed) the store-wide fleet view aggregated from every
+/// worker's heartbeat journal — the same view `repro status` renders.
+fn handle_progress(state: &ServerState) -> (u16, String) {
+    #[allow(clippy::cast_precision_loss)]
+    let fleet = state.store.as_ref().map_or(JsonValue::Null, |store| {
+        let now = ntc::journal::now_ms();
+        let fs = ntc::journal::fleet_status(store);
+        let workers: Vec<JsonValue> = fs
+            .workers
+            .iter()
+            .map(|w| {
+                JsonValue::Obj(vec![
+                    ("worker".into(), JsonValue::Str(w.worker.clone())),
+                    ("lo".into(), JsonValue::num(f64::from(w.lo))),
+                    ("hi".into(), JsonValue::num(f64::from(w.hi))),
+                    ("state".into(), JsonValue::Str(w.state(now).name().into())),
+                    ("progress".into(), snapshot_json(&w.progress)),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("workers".into(), JsonValue::Arr(workers)),
+            ("stalled".into(), JsonValue::num(fs.stalled(now) as f64)),
+            ("merged".into(), snapshot_json(&fs.merged())),
+            ("checkpoints".into(), JsonValue::num(fs.checkpoints as f64)),
+            ("checkpoint_bytes".into(), JsonValue::num(fs.checkpoint_bytes as f64)),
+            (
+                "claims".into(),
+                JsonValue::Arr(
+                    fs.claims
+                        .iter()
+                        .map(|&(lo, hi)| {
+                            JsonValue::Arr(vec![
+                                JsonValue::num(f64::from(lo)),
+                                JsonValue::num(f64::from(hi)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    });
+    let body = JsonValue::Obj(vec![
+        ("progress".into(), snapshot_json(&ntc_obs::progress::snapshot())),
+        ("fleet".into(), fleet),
+    ]);
+    (200, compact(&body))
+}
+
 /// `GET /healthz` — liveness plus the store/format version the build
 /// keys artifacts on, so load tests and CI can assert which build (and
 /// which on-disk format) they are actually hitting.
@@ -401,11 +471,12 @@ pub fn handle(req: &Request, state: &ServerState) -> Reply {
     let (status, body) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, healthz_body()),
         ("GET", "/metrics") => return handle_metrics(req, state),
+        ("GET", "/progress") => handle_progress(state),
         ("GET", "/experiments") => handle_experiments(),
         ("GET", p) if p.starts_with("/artifact/") => handle_artifact(req, state),
         ("POST", "/run") => handle_run(req, state),
         ("POST", "/query") => handle_query(req, state),
-        (_, "/experiments" | "/metrics" | "/healthz" | "/run" | "/query") => {
+        (_, "/experiments" | "/metrics" | "/healthz" | "/run" | "/query" | "/progress") => {
             (405, error_body("unsupported", &format!("{} not allowed here", req.method)))
         }
         (_, p) if p.starts_with("/artifact/") => {
@@ -644,6 +715,57 @@ mod tests {
         let bad = handle(&get("/metrics?format=xml"), &state);
         assert_eq!(bad.status, 400);
         assert!(bad.body.contains("invalid_param"));
+    }
+
+    #[test]
+    fn progress_without_a_store_reports_in_process_only() {
+        let state = ServerState::new(2014);
+        let (status, body) = call(&get("/progress"), &state);
+        assert_eq!(status, 200);
+        let v = parse(&body).unwrap();
+        let p = v.get("progress").expect("in-process snapshot present");
+        assert!(p.get("shards_done").and_then(JsonValue::as_num).is_some());
+        assert!(p.get("trials_total").and_then(JsonValue::as_num).is_some());
+        assert_eq!(v.get("fleet"), Some(&JsonValue::Null), "no store, no fleet view");
+        assert_eq!(call(&post("/progress", ""), &state).0, 405);
+    }
+
+    #[test]
+    fn progress_aggregates_store_journals_into_the_fleet_view() {
+        let store = scratch_store("progress-fleet");
+        let j = ntc::journal::Journal::new(&store, 0, 32, 1000);
+        j.shard_done("fig5", 3, 2500, 100.0);
+        j.flush();
+        let state = ServerState::with_store(2014, Some(store), 4);
+        let (status, body) = call(&get("/progress"), &state);
+        assert_eq!(status, 200);
+        let v = parse(&body).unwrap();
+        let fleet = v.get("fleet").expect("store-backed server has a fleet view");
+        let workers = fleet.get("workers").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(workers.len(), 1);
+        assert_eq!(
+            workers[0].get("worker").and_then(JsonValue::as_str),
+            Some(j.worker_id())
+        );
+        assert_eq!(workers[0].get("state").and_then(JsonValue::as_str), Some("running"));
+        let merged = fleet.get("merged").unwrap();
+        assert_eq!(merged.get("trials_done").and_then(JsonValue::as_num), Some(2500.0));
+        assert_eq!(fleet.get("stalled").and_then(JsonValue::as_num), Some(0.0));
+    }
+
+    #[test]
+    fn metrics_exposition_carries_the_progress_gauges() {
+        ntc_obs::enable();
+        let state = ServerState::new(2014);
+        let prom = handle(&get("/metrics?format=prom"), &state);
+        assert_eq!(prom.status, 200);
+        assert!(
+            prom.body.contains("progress_shards_done"),
+            "prometheus exposition carries sweep progress: {}",
+            prom.body
+        );
+        let json = handle(&get("/metrics"), &state);
+        assert!(json.body.contains("progress.eta_secs"));
     }
 
     #[test]

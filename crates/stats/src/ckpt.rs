@@ -447,6 +447,22 @@ where
         Some(s) => s,
         None => return par_map(shards, |i| Some(f(i))),
     };
+    // Register this worker's slice of the sweep with the progress
+    // tracker before folding: owned shards are the work this process
+    // has committed to. Restored-but-unowned shards join the totals as
+    // they are discovered (below), so `done <= total` always holds and
+    // disjoint workers' snapshots merge to the single-process counts.
+    if ntc_obs::enabled() {
+        let (mut owned, mut owned_trials) = (0u64, 0u64);
+        for i in 0..shards {
+            if sink.owns_shard(i as u32) {
+                let (lo, hi) = shard_bounds(key.trials, shards, i);
+                owned += 1;
+                owned_trials += hi - lo;
+            }
+        }
+        ntc_obs::progress::add_work(owned, owned_trials);
+    }
     let sink = &sink;
     par_map(shards, move |i| {
         let shard = i as u32;
@@ -463,6 +479,16 @@ where
             match restored {
                 Some(v) => {
                     ntc_obs::counter_add("ckpt.shards.restored", 1);
+                    if ntc_obs::enabled() {
+                        let (lo, hi) = shard_bounds(key.trials, shards, i);
+                        if !sink.owns_shard(shard) {
+                            // Someone else's finished shard: count it as
+                            // work *and* completion so the totals stay
+                            // consistent within this process.
+                            ntc_obs::progress::add_work(1, hi - lo);
+                        }
+                        ntc_obs::progress::shard_done(hi - lo, true);
+                    }
                     return Some(v);
                 }
                 // Verified-but-wrong or failed-hash both read as
@@ -487,6 +513,7 @@ where
                 sink.store(key, shard, &ck.encode());
             }
             ntc_obs::counter_add("ckpt.shards.computed", 1);
+            ntc_obs::progress::shard_done(hi - lo, false);
             Some(v)
         } else {
             ntc_obs::counter_add("ckpt.shards.skipped", 1);
@@ -512,6 +539,15 @@ where
 {
     assert!(shards > 0, "need at least one shard");
     if !active() {
+        if ntc_obs::enabled() {
+            ntc_obs::progress::add_work(shards as u64, key.trials);
+            return crate::exec::par_mergeable(shards, |i| {
+                let v = f(i);
+                let (lo, hi) = shard_bounds(key.trials, shards, i);
+                ntc_obs::progress::shard_done(hi - lo, false);
+                v
+            });
+        }
         return crate::exec::par_mergeable(shards, f);
     }
     let parts = shard_values(key, shards, &f);
@@ -535,6 +571,15 @@ where
     F: Fn(usize) -> T + Sync,
 {
     if !active() {
+        if ntc_obs::enabled() {
+            ntc_obs::progress::add_work(shards as u64, key.trials);
+            return par_map(shards, |i| {
+                let v = f(i);
+                let (lo, hi) = shard_bounds(key.trials, shards, i);
+                ntc_obs::progress::shard_done(hi - lo, false);
+                v
+            });
+        }
         return par_map(shards, f);
     }
     shard_values(key, shards, &f)

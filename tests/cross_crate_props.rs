@@ -152,3 +152,137 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fleet telemetry properties: the progress tracker and the journal wire
+// format. These touch process-global state (the progress counters and
+// the installed checkpoint sink), so they serialize on one lock.
+
+use ntc_obs::ProgressSnapshot;
+use ntc_stats::ckpt::{self, CollectiveKey, MemorySink};
+use ntc_stats::exec::{par_map_with_threads, shard_bounds};
+use ntc_stats::mc::TrialCounter;
+use std::sync::{Arc, Mutex};
+
+static PROGRESS_LOCK: Mutex<()> = Mutex::new(());
+
+fn progress_guard() -> std::sync::MutexGuard<'static, ()> {
+    PROGRESS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The deterministic half of a progress snapshot (counts, never the
+    /// rate EMA) is identical no matter how many threads raced their
+    /// shard completions into the tracker.
+    #[test]
+    fn progress_counts_invariant_across_thread_counts(trials in 64u64..50_000) {
+        let _g = progress_guard();
+        ntc_obs::enable();
+        let mut reference = None;
+        for threads in [1usize, 4, 8] {
+            ntc_obs::progress::reset();
+            ntc_obs::progress::add_work(64, trials);
+            par_map_with_threads(64, threads, |i| {
+                let (lo, hi) = shard_bounds(trials, 64, i);
+                ntc_obs::progress::shard_done(hi - lo, false);
+                i
+            });
+            let det = ntc_obs::progress::snapshot().deterministic();
+            match reference {
+                None => reference = Some(det),
+                Some(r) => prop_assert_eq!(r, det, "threads = {}", threads),
+            }
+        }
+        ntc_obs::progress::reset();
+    }
+
+    /// Splitting the 64-shard layout across any set of workers with
+    /// disjoint owned ranges and merging their snapshots reproduces the
+    /// single-worker counts exactly — each shard is counted by precisely
+    /// the worker that owns it.
+    #[test]
+    fn progress_merge_invariant_across_worker_splits(
+        cut1 in 1u32..64, cut2 in 1u32..64, trials in 64u64..10_000, seed: u64,
+    ) {
+        let _g = progress_guard();
+        ntc_obs::enable();
+        let key = CollectiveKey::new("cross_props_split", seed, trials);
+        let run_worker = |lo: u32, hi: u32| -> ProgressSnapshot {
+            ntc_obs::progress::reset();
+            ckpt::install(Arc::new(MemorySink::with_range(lo, hi)));
+            let _ = ckpt::par_mergeable_keyed::<TrialCounter, _>(&key, 64, |_| {
+                TrialCounter::new()
+            });
+            ckpt::uninstall();
+            ntc_obs::progress::snapshot()
+        };
+        let single = run_worker(0, 64).deterministic();
+        let mut cuts = vec![0, cut1, cut2, 64];
+        cuts.sort_unstable();
+        cuts.dedup();
+        let merged = cuts
+            .windows(2)
+            .map(|w| run_worker(w[0], w[1]))
+            .fold(ProgressSnapshot::default(), |acc, s| acc.merge(&s))
+            .deterministic();
+        prop_assert_eq!(single, merged, "cuts = {:?}", cuts);
+        ntc_obs::progress::reset();
+    }
+
+    /// Any single bit flip or truncation of a journal damages only the
+    /// line it lands on: the parse drops and counts it, keeps every
+    /// intact line, and never reports more shards than survived — the
+    /// same no-wrong-answers contract as `ShardCheckpoint` envelopes.
+    #[test]
+    fn journal_corruption_is_counted_never_trusted(
+        k in 1usize..5, byte_frac in 0.0f64..1.0, bit in 0u32..8, cut_frac in 0.0f64..1.0,
+    ) {
+        use ntc::journal::{encode_line, parse_worker_status};
+        let mut text = String::new();
+        text.push_str(&encode_line(
+            r#"{"ev":"meta","worker":"w0-64-p1","pid":1,"lo":0,"hi":64,"flush_ms":250,"version":"t","seq":1,"t_ms":1}"#,
+        ));
+        text.push('\n');
+        for i in 0..k {
+            text.push_str(&encode_line(&format!(
+                r#"{{"ev":"shard_done","scope":"fig5","shard":{i},"trials":100,"samples_per_sec":1.0,"seq":{},"t_ms":{}}}"#,
+                i + 2,
+                1000 + i,
+            )));
+            text.push('\n');
+        }
+        let clean = parse_worker_status("w", text.as_bytes());
+        prop_assert_eq!(clean.corrupt_lines, 0);
+        prop_assert_eq!(clean.events, k + 1);
+        prop_assert_eq!(clean.progress.shards_done, k as u64);
+
+        // One bit flip: exactly one line is lost, the rest survive. (A
+        // flip that lands on a line separator is excluded — that is
+        // truncation-shaped damage, covered below; a flip that *creates*
+        // a separator splits one line into two corrupt fragments.)
+        let mut bytes = text.clone().into_bytes();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        prop_assume!(bytes[idx] != b'\n');
+        bytes[idx] ^= 1u8 << bit;
+        let flipped = parse_worker_status("w", &bytes);
+        prop_assert!((1..=2).contains(&flipped.corrupt_lines), "flip at {}", idx);
+        prop_assert_eq!(flipped.events, k, "every other line survives");
+        prop_assert!(flipped.progress.shards_done <= k as u64);
+
+        // Truncation at any byte: every complete line before the cut
+        // parses, the torn tail (if any) is counted corrupt.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = (text.len() as f64 * cut_frac) as usize;
+        let prefix = &text.as_bytes()[..cut];
+        let complete = prefix.iter().filter(|&&b| b == b'\n').count();
+        let torn = parse_worker_status("w", prefix);
+        prop_assert_eq!(torn.events, complete, "cut at {}", cut);
+        prop_assert_eq!(
+            torn.corrupt_lines,
+            usize::from(cut > 0 && !prefix.ends_with(b"\n")),
+        );
+    }
+}
