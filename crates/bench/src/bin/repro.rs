@@ -9,6 +9,7 @@
 //! repro check --all                              # verify paper anchors
 //! repro diff baselines/quick --quick             # regression-diff a baseline
 //! repro report --all --html report.html          # self-contained HTML report
+//! repro optimize --frequency 290e3               # design-space autotuner
 //! repro serve --port 0                           # HTTP/1.1 JSON query service
 //! repro bench-serve --duration-secs 5            # open-loop serve load sweep
 //! repro store stat --store st                    # store contents / gc
@@ -64,6 +65,8 @@ fn usage() -> ! {
          repro check <id...>|--all [--quick] [--seed <n>]\n  \
          repro diff <baseline-dir> [<id...>] [--rtol <x>] [--quick] [--seed <n>]\n  \
          repro report <id...>|--all [--html <file>] [--quick] [--seed <n>]\n  \
+         repro optimize --frequency <hz> [--paper] | --request <file>|-\n                 \
+         [--seed <n>] [--restarts <n>] [--store <dir>] [--out <file>]\n  \
          repro serve [--addr <ip>] [--port <n>] [--workers <n>] [--queue <n>] \
          [--deadline-ms <n>] [--seed <n>] [--store <dir>] [--memo-cap <n>] [--access-log <file>]\n  \
          repro bench-serve [--rate <rps>] [--duration-secs <n>] [--connections <n>] \
@@ -693,6 +696,160 @@ fn cmd_report(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro optimize` — the design-space autotuner from the command
+/// line. The same typed [`ntc::api::OptimizeRequest`] the server
+/// parses, the same [`ntc::optimize::optimize`] search, the same
+/// [`ntc::api::OptimizeResponse::to_json`] bytes on the way out — so
+/// a CLI answer and a `POST /v1/optimize` answer for one request are
+/// byte-identical, and a `--store` shared with a server shares its
+/// memoized results both ways (same `optimize-{hash}` key).
+fn cmd_optimize(args: &[String]) -> ExitCode {
+    use ntc::api::{OptimizeRequest, OptimizeResponse};
+
+    let mut request_path: Option<String> = None;
+    let mut frequency: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut restarts: Option<u32> = None;
+    let mut store_root: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--request" => match it.next() {
+                Some(path) => request_path = Some(path.clone()),
+                None => usage(),
+            },
+            "--frequency" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) if f > 0.0 => frequency = Some(f),
+                _ => usage(),
+            },
+            // The paper design space is already the default whenever the
+            // request is built from --frequency; the flag documents intent.
+            "--paper" => {}
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => usage(),
+            },
+            "--restarts" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if (1..=64).contains(&n) => restarts = Some(n),
+                _ => usage(),
+            },
+            "--store" => match it.next() {
+                Some(dir) => store_root = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(file) => out = Some(PathBuf::from(file)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let mut req = match (&request_path, frequency) {
+        (Some(_), Some(_)) => {
+            eprintln!("--request and --frequency are mutually exclusive");
+            std::process::exit(2);
+        }
+        (Some(path), None) => {
+            let text = if path == "-" {
+                use std::io::Read as _;
+                let mut buf = String::new();
+                if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                    eprintln!("cannot read request from stdin: {e}");
+                    std::process::exit(2);
+                }
+                buf
+            } else {
+                std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read request {path}: {e}");
+                    std::process::exit(2);
+                })
+            };
+            match OptimizeRequest::from_json(&text) {
+                Ok(req) => req,
+                Err(e) => {
+                    eprintln!("invalid optimize request: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        (None, Some(f)) => OptimizeRequest::paper(f),
+        (None, None) => {
+            eprintln!("optimize needs --frequency <hz> or --request <file>|-");
+            std::process::exit(2);
+        }
+    };
+    if let Some(s) = seed {
+        req.seed = s;
+    }
+    if let Some(n) = restarts {
+        req.restarts = n;
+    }
+    // Overrides change the canonical rendering, so re-canonicalize
+    // before hashing: the request hash is the memoization key the
+    // server shares.
+    req.canonicalize();
+
+    let store = match &store_root {
+        Some(root) => match Store::open(root) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("cannot open store {}: {e}", root.display());
+                std::process::exit(1);
+            }
+        },
+        None => std::env::var("NTC_STORE")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .map(|root| match Store::open(Path::new(&root)) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("cannot open store {root}: {e}");
+                    std::process::exit(1);
+                }
+            }),
+    };
+    // The optimizer emits spans/counters; they only reach sidecars and
+    // stores, never the response bytes.
+    ntc_obs::enable();
+
+    let hex = req.request_hash_hex();
+    let key = ArtifactKey::new(&format!("optimize-{hex}"), Scale::Quick, req.seed);
+    let cached = store.as_ref().and_then(|s| s.get_artifact(&key)).filter(|body| {
+        OptimizeResponse::from_json(body).is_ok_and(|r| r.request_hash == hex)
+    });
+    let body = match cached {
+        Some(body) => {
+            eprintln!("optimize: served from store ({})", key.file_name());
+            body
+        }
+        None => {
+            let body = ntc::optimize::optimize(&req).to_json();
+            if let Some(store) = &store {
+                if let Err(e) = store.put_artifact(&key, &body) {
+                    eprintln!("warning: could not publish to store: {e}");
+                }
+            }
+            body
+        }
+    };
+    match &out {
+        Some(path) => {
+            write_file(path, &body);
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{body}"),
+    }
+    let resp = OptimizeResponse::from_json(&body).expect("optimizer response parses");
+    if resp.feasible {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("optimize: no feasible design in the requested space");
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut config = ntc_serve::ServeConfig::default();
     let mut ip = "127.0.0.1".to_string();
@@ -1163,6 +1320,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&parse_options(&args[1..], Selection::Required)),
         Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&parse_options(&args[1..], Selection::Required)),
+        Some("optimize") => cmd_optimize(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some("store") => cmd_store(&args[1..]),

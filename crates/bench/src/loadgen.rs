@@ -41,6 +41,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ntc::api::{EnergyModel, LawKind, Memory, QueryKind, QueryRequest, RunRequest};
+use ntc::fit::{Scheme, VoltageGrid};
+use ntc::repro::{ExperimentId, Scale};
 use ntc_obs::{Histogram, HistogramSnapshot};
 
 /// One load-generation run against a serve endpoint.
@@ -133,32 +136,35 @@ impl LoadReport {
 /// Deterministic in `i` so re-runs offer the identical stream: every
 /// `run_every`-th arrival re-runs a quick-scale experiment (memoised
 /// server-side after the first), the rest rotate through the three
-/// query kinds over a small grid of operating points.
+/// query kinds over a small grid of operating points. Bodies are
+/// rendered through the shared [`ntc::api`] DTOs — the same types the
+/// server parses — so the generator cannot drift from the wire schema.
 #[must_use]
 pub fn request_for(i: u64, run_every: usize) -> (&'static str, &'static str, String) {
     if run_every > 0 && i.is_multiple_of(run_every as u64) {
-        return ("POST", "/run", r#"{"id":"table2","scale":"quick"}"#.to_string());
+        let run = RunRequest { id: ExperimentId::Table2, scale: Scale::Quick, seed: None };
+        return ("POST", "/v1/run", run.to_json());
     }
-    match i % 3 {
-        0 => {
-            let vdd = 0.5 + 0.05 * ((i / 3) % 7) as f64;
-            ("POST", "/query", format!(r#"{{"kind":"energy","model":"cots_40nm","vdd":{vdd:.2}}}"#))
-        }
-        1 => {
-            let vdd = 0.3 + 0.01 * ((i / 3) % 5) as f64;
-            (
-                "POST",
-                "/query",
-                format!(
-                    r#"{{"kind":"ber","law":"retention","memory":"cell_based_65nm","vdd":{vdd:.2}}}"#
-                ),
-            )
-        }
-        _ => {
-            let f_hz = [290e3, 1e6, 11.6e6][(i / 3) as usize % 3];
-            ("POST", "/query", format!(r#"{{"kind":"vmin","scheme":"ocean","frequency_hz":{f_hz}}}"#))
-        }
-    }
+    let kind = match i % 3 {
+        0 => QueryKind::Energy {
+            model: EnergyModel::Cots40,
+            vdd: (50.0 + 5.0 * ((i / 3) % 7) as f64) / 100.0,
+            frequency_hz: None,
+        },
+        1 => QueryKind::Ber {
+            law: LawKind::Retention,
+            memory: Memory::CellBased65,
+            vdd: (30.0 + ((i / 3) % 5) as f64) / 100.0,
+        },
+        _ => QueryKind::Vmin {
+            scheme: Scheme::Ocean,
+            memory: Memory::CellBased40,
+            fit_target: 1e-15,
+            frequency_hz: Some([290e3, 1e6, 11.6e6][(i / 3) as usize % 3]),
+            grid: VoltageGrid::PaperGrid,
+        },
+    };
+    ("POST", "/v1/query", QueryRequest { id: None, kind }.to_json())
 }
 
 /// Sends one request on a fresh connection and returns the HTTP status,
@@ -355,17 +361,26 @@ mod tests {
             assert_eq!(request_for(i, 16), request_for(i, 16));
         }
         let (_, target, _) = request_for(0, 16);
-        assert_eq!(target, "/run");
+        assert_eq!(target, "/v1/run");
         let (_, target, _) = request_for(0, 0);
-        assert_eq!(target, "/query", "run_every=0 disables /run arrivals");
+        assert_eq!(target, "/v1/query", "run_every=0 disables /run arrivals");
     }
 
     #[test]
-    fn workload_bodies_are_json() {
+    fn workload_bodies_parse_back_through_the_shared_dtos() {
         for i in 0..48 {
-            let (method, _, body) = request_for(i, 8);
+            let (method, target, body) = request_for(i, 8);
             assert_eq!(method, "POST");
-            assert!(ntc::artifact::json::parse(&body).is_ok(), "bad body: {body}");
+            let v = ntc::artifact::json::parse(&body).expect("body is JSON");
+            match target {
+                "/v1/run" => {
+                    RunRequest::from_json_value(&v).expect("run body round-trips");
+                }
+                "/v1/query" => {
+                    QueryRequest::from_json_value(&v).expect("query body round-trips");
+                }
+                other => panic!("unexpected target {other}"),
+            }
         }
     }
 

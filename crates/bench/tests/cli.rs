@@ -543,3 +543,118 @@ fn store_stat_renders_human_sizes_ages_and_journals() {
     assert!(ckpt_line.contains("newest"), "age summary: {ckpt_line}");
     assert!(ckpt_line.contains("oldest"), "age summary: {ckpt_line}");
 }
+
+// ---------------------------------------------------------------------
+// `repro optimize` — the CLI face of the design-space autotuner. The
+// handcrafted requests stay tiny (one cell style, one word count) so
+// each search finishes in milliseconds; the paper-preset test runs the
+// full Table 2 space once.
+// ---------------------------------------------------------------------
+
+const OPT_REQUEST: &str = concat!(
+    r#"{"constraints":{"frequency_hz":290e3},"#,
+    r#""space":{"banks":[1,2],"words":[2048],"cells":["cell_based_aoi"],"#,
+    r#""schemes":["secded","ocean"]},"restarts":2}"#
+);
+
+/// Runs `repro` with a pinned `NTC_THREADS` and no ambient store.
+fn repro_threads(args: &[&str], threads: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .env_remove("NTC_STORE")
+        .env("NTC_THREADS", threads)
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn optimize_bytes_are_identical_across_thread_counts() {
+    let dir = scratch("optimize_threads");
+    let req = dir.join("request.json");
+    std::fs::write(&req, OPT_REQUEST).unwrap();
+    let req_s = req.to_str().unwrap();
+    let one = repro_threads(&["optimize", "--request", req_s], "1");
+    assert!(one.status.success(), "{}", stderr(&one));
+    let seven = repro_threads(&["optimize", "--request", req_s], "7");
+    assert!(seven.status.success(), "{}", stderr(&seven));
+    assert_eq!(one.stdout, seven.stdout, "NTC_THREADS must not change the bytes");
+}
+
+#[test]
+fn optimize_is_invariant_to_axis_enumeration_order() {
+    // Same space, axes listed in different orders: canonicalization
+    // sorts them, so the hash — and therefore the bytes — must agree.
+    let dir = scratch("optimize_axis_order");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    std::fs::write(&a, OPT_REQUEST).unwrap();
+    std::fs::write(
+        &b,
+        concat!(
+            r#"{"constraints":{"frequency_hz":290e3},"#,
+            r#""space":{"banks":[2,1],"words":[2048],"cells":["cell_based_aoi"],"#,
+            r#""schemes":["ocean","secded"]},"restarts":2}"#
+        ),
+    )
+    .unwrap();
+    let out_a = repro_clean_env(&["optimize", "--request", a.to_str().unwrap()]);
+    let out_b = repro_clean_env(&["optimize", "--request", b.to_str().unwrap()]);
+    assert!(out_a.status.success(), "{}", stderr(&out_a));
+    assert!(out_b.status.success(), "{}", stderr(&out_b));
+    assert_eq!(out_a.stdout, out_b.stdout, "axis enumeration order leaked into the response");
+}
+
+#[test]
+fn optimize_second_run_is_served_from_the_store_byte_for_byte() {
+    let dir = scratch("optimize_store");
+    let store = dir.join("store");
+    let req = dir.join("request.json");
+    std::fs::write(&req, OPT_REQUEST).unwrap();
+    let store_s = store.to_str().unwrap();
+    let req_s = req.to_str().unwrap();
+    let first = repro_clean_env(&["optimize", "--request", req_s, "--store", store_s]);
+    assert!(first.status.success(), "{}", stderr(&first));
+    assert!(!stderr(&first).contains("served from store"), "first run computes");
+    let second = repro_clean_env(&["optimize", "--request", req_s, "--store", store_s]);
+    assert!(second.status.success(), "{}", stderr(&second));
+    assert!(stderr(&second).contains("served from store"), "{}", stderr(&second));
+    assert_eq!(first.stdout, second.stdout, "store replay must be byte-identical");
+}
+
+#[test]
+fn optimize_paper_preset_rediscovers_the_table2_point() {
+    let out = repro_clean_env(&["optimize", "--frequency", "290e3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let resp = ntc::api::OptimizeResponse::from_json(&stdout(&out))
+        .expect("stdout is a typed OptimizeResponse");
+    assert!(resp.feasible);
+    let best = resp.best.expect("paper space is feasible");
+    assert_eq!(best.scheme, ntc::fit::Scheme::Ocean, "Table 2 winner");
+    assert_eq!(best.vdd, 0.33, "Table 2 OCEAN supply at 290 kHz");
+    let mut req = ntc::api::OptimizeRequest::paper(290e3);
+    req.canonicalize();
+    assert_eq!(resp.request_hash, req.request_hash_hex(), "hash echoes the request");
+}
+
+#[test]
+fn optimize_reports_an_infeasible_space_with_exit_one() {
+    // 10 GHz is unreachable at <= 1.2 V: the search must terminate
+    // cleanly, say so on stderr, and still emit the typed response.
+    let dir = scratch("optimize_infeasible");
+    let req = dir.join("request.json");
+    std::fs::write(
+        &req,
+        concat!(
+            r#"{"constraints":{"frequency_hz":1e10},"#,
+            r#""space":{"banks":[1,2],"words":[2048],"cells":["cell_based_aoi"],"#,
+            r#""schemes":["ocean"]},"restarts":2}"#
+        ),
+    )
+    .unwrap();
+    let out = repro_clean_env(&["optimize", "--request", req.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(stderr(&out).contains("no feasible design"), "{}", stderr(&out));
+    let resp = ntc::api::OptimizeResponse::from_json(&stdout(&out)).expect("typed body");
+    assert!(!resp.feasible);
+    assert!(resp.best.is_none());
+}

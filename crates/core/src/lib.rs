@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod artifact;
 pub mod calculator;
 pub mod error;
@@ -50,6 +51,7 @@ pub mod fit;
 pub mod journal;
 pub mod repro;
 pub mod monitor;
+pub mod optimize;
 pub mod parallel;
 pub mod standby;
 pub mod store;

@@ -7,26 +7,33 @@
 //! the memo tables only change *when* a model or experiment is
 //! evaluated, never what it produces.
 //!
-//! Routes:
+//! Routes (canonical `/v1` form; the unversioned spellings are served
+//! as deprecated shims that answer identically plus a
+//! `Deprecation: true` response header):
 //!
-//! | method | path              | answer                                    |
-//! |--------|-------------------|-------------------------------------------|
-//! | GET    | `/experiments`    | registry listing with paper references    |
-//! | GET    | `/artifact/{id}`  | artifact JSON (`?scale=quick\|paper`)     |
-//! | POST   | `/run`            | artifact + check verdicts for one run     |
-//! | POST   | `/query`          | fine-grained model queries (single/batch) |
-//! | GET    | `/healthz`        | liveness probe + store/format version     |
-//! | GET    | `/metrics`        | `ntc-obs` snapshot (`?format=json\|prom`) |
-//! | GET    | `/progress`       | sweep progress: in-process + store fleet  |
+//! | method | path                 | answer                                    |
+//! |--------|----------------------|-------------------------------------------|
+//! | GET    | `/v1/api`            | machine-readable endpoint/DTO schema      |
+//! | GET    | `/v1/experiments`    | registry listing with paper references    |
+//! | GET    | `/v1/artifact/{id}`  | artifact JSON (`?scale=quick\|paper`)     |
+//! | POST   | `/v1/run`            | artifact + check verdicts for one run     |
+//! | POST   | `/v1/query`          | fine-grained model queries (single/batch) |
+//! | POST   | `/v1/optimize`       | design-space autotuner, memoized by hash  |
+//! | GET    | `/v1/healthz`        | liveness probe + store/format version     |
+//! | GET    | `/v1/metrics`        | `ntc-obs` snapshot (`?format=json\|prom`) |
+//! | GET    | `/v1/progress`       | sweep progress: in-process + store fleet  |
 //!
-//! Errors are structured: every non-2xx body is
+//! `GET /v1/api` is the only route without a legacy alias — it was born
+//! versioned. Errors are structured: every non-2xx body is
 //! `{"error":{"kind":..., "message":...}}` with the stable
 //! [`NtcError::kind`] vocabulary, so scripted clients can branch on
 //! `kind` instead of scraping messages.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::Mutex;
 
+use ntc::api::{self, ErrorBody, OptimizeRequest, OptimizeResponse, QueryRequest, RunRequest};
 use ntc::artifact::json::{parse, JsonValue};
 use ntc::artifact::{Artifact, Check};
 use ntc::error::NtcError;
@@ -34,35 +41,35 @@ use ntc::repro::{find_id, registry, run_one, ExperimentId, RunCtx, Scale};
 use ntc::store::{ArtifactKey, Store};
 
 use crate::http::Request;
-use crate::query::{eval, Models, Query};
+use crate::query::{eval, Models};
 
 type RunKey = (ExperimentId, Scale, u64);
 
-/// A size-capped LRU memo of completed runs. Recency is a monotonic
+/// A size-capped LRU memo of completed work. Recency is a monotonic
 /// use-stamp; eviction scans for the stale-est entry (the memo is a few
 /// dozen entries, so O(n) beats carrying a linked-list dependency).
 #[derive(Debug, Default)]
-struct BoundedMemo {
+struct BoundedMemo<K, V> {
     cap: usize,
     tick: u64,
-    map: HashMap<RunKey, (Artifact, u64)>,
+    map: HashMap<K, (V, u64)>,
 }
 
-impl BoundedMemo {
+impl<K: Eq + Hash + Copy, V: Clone> BoundedMemo<K, V> {
     fn new(cap: usize) -> Self {
         BoundedMemo { cap, tick: 0, map: HashMap::new() }
     }
 
-    fn get(&mut self, key: &RunKey) -> Option<Artifact> {
+    fn get(&mut self, key: &K) -> Option<V> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(key).map(|(artifact, used)| {
+        self.map.get_mut(key).map(|(value, used)| {
             *used = tick;
-            artifact.clone()
+            value.clone()
         })
     }
 
-    fn insert(&mut self, key: RunKey, artifact: Artifact) {
+    fn insert(&mut self, key: K, value: V) {
         if self.cap == 0 {
             return;
         }
@@ -78,20 +85,23 @@ impl BoundedMemo {
             }
         }
         self.tick += 1;
-        self.map.insert(key, (artifact, self.tick));
+        self.map.insert(key, (value, self.tick));
     }
 }
 
 /// Shared, thread-safe state behind all worker shards.
 #[derive(Debug)]
 pub struct ServerState {
-    /// The memoized paper models `/query` evaluates against.
+    /// The memoized paper models `/v1/query` evaluates against.
     pub models: Models,
     /// Seed used when a request does not carry one.
     pub default_seed: u64,
     /// Completed experiment runs, keyed by (id, scale, seed) — bounded,
     /// LRU-evicted.
-    run_memo: Mutex<BoundedMemo>,
+    run_memo: Mutex<BoundedMemo<RunKey, Artifact>>,
+    /// Completed optimize response bodies, keyed by the canonical
+    /// request hash — same bound and eviction policy as the run memo.
+    optimize_memo: Mutex<BoundedMemo<u64, String>>,
     /// Durable artifact store consulted between the memo and compute.
     store: Option<Store>,
 }
@@ -109,6 +119,7 @@ impl ServerState {
             models: Models::paper(),
             default_seed,
             run_memo: Mutex::new(BoundedMemo::new(memo_cap)),
+            optimize_memo: Mutex::new(BoundedMemo::new(memo_cap)),
             store,
         }
     }
@@ -150,14 +161,61 @@ impl ServerState {
             .insert(key, artifact.clone());
         artifact
     }
+
+    /// Answers one optimize request: memo, then store, then the actual
+    /// search — in that order. The key everywhere is the FNV-64 of the
+    /// canonical request rendering ([`OptimizeRequest::request_hash`]),
+    /// so two clients naming the same design space in different axis
+    /// orders share one cache entry and get byte-identical bodies.
+    fn optimize_memoized(&self, req: &OptimizeRequest) -> String {
+        let hash = req.request_hash();
+        if let Some(body) = self
+            .optimize_memo
+            .lock()
+            .expect("optimize memo lock")
+            .get(&hash)
+        {
+            ntc_obs::counter_add("serve.optimize.memo_hit", 1);
+            return body;
+        }
+        let hex = req.request_hash_hex();
+        // Optimize responses have no scale; the hash alone carries the
+        // whole request, and the seed slot mirrors the request's only
+        // to keep the store's file names human-scannable.
+        let store_key = ArtifactKey::new(&format!("optimize-{hex}"), Scale::Quick, req.seed);
+        if let Some(store) = &self.store {
+            if let Some(body) = store.get_artifact(&store_key) {
+                // A stored body must still parse and answer *this*
+                // request; anything else is treated as a miss.
+                if OptimizeResponse::from_json(&body).is_ok_and(|r| r.request_hash == hex) {
+                    self.optimize_memo
+                        .lock()
+                        .expect("optimize memo lock")
+                        .insert(hash, body.clone());
+                    return body;
+                }
+            }
+        }
+        ntc_obs::counter_add("serve.optimize.computed", 1);
+        let body = ntc::optimize::optimize(req).to_json();
+        if let Some(store) = &self.store {
+            let _ = store.put_artifact(&store_key, &body);
+        }
+        self.optimize_memo
+            .lock()
+            .expect("optimize memo lock")
+            .insert(hash, body.clone());
+        body
+    }
 }
 
 /// Content type of the Prometheus text exposition format the
-/// `/metrics?format=prom` endpoint speaks.
+/// `/v1/metrics?format=prom` endpoint speaks.
 pub const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
-/// A routed response: status, body, and the content type to frame it
-/// with. Everything is JSON except the Prometheus exposition.
+/// A routed response: status, body, the content type to frame it with,
+/// and whether it was served through a deprecated unversioned path
+/// (surfaced to the client as a `Deprecation: true` response header).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
     /// HTTP status code.
@@ -166,29 +224,45 @@ pub struct Reply {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// Whether the request came through a legacy (pre-`/v1`) path.
+    pub deprecated: bool,
 }
 
 impl Reply {
     /// A JSON reply (the default for every route).
     #[must_use]
     pub fn json(status: u16, body: String) -> Reply {
-        Reply { status, content_type: "application/json", body }
+        Reply { status, content_type: "application/json", body, deprecated: false }
+    }
+}
+
+/// Splits the `/v1` version prefix off a request path: returns the
+/// canonical route spelling plus whether the original spelling was the
+/// deprecated unversioned alias.
+fn canonical_path(path: &str) -> (&str, bool) {
+    match path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => (rest, false),
+        _ => (path, true),
     }
 }
 
 /// The bounded per-route label a path maps to, used in
 /// `serve.route.<label>.*` metric names. A fixed vocabulary — paths
 /// never reach metric names, so an attacker spraying random URLs
-/// cannot explode the registry.
+/// cannot explode the registry. `/v1` and legacy spellings share one
+/// label: they are the same route.
 #[must_use]
 pub fn route_label(path: &str) -> &'static str {
-    match path {
+    let (canon, _) = canonical_path(path);
+    match canon {
         "/healthz" => "healthz",
         "/metrics" => "metrics",
         "/progress" => "progress",
         "/experiments" => "experiments",
         "/run" => "run",
         "/query" => "query",
+        "/optimize" => "optimize",
+        "/api" => "api",
         p if p.starts_with("/artifact/") => "artifact",
         _ => "other",
     }
@@ -196,16 +270,7 @@ pub fn route_label(path: &str) -> &'static str {
 
 /// A structured error body: `{"error":{"kind":...,"message":...}}`.
 pub fn error_body(kind: &str, message: &str) -> String {
-    let mut out = String::new();
-    JsonValue::Obj(vec![(
-        "error".into(),
-        JsonValue::Obj(vec![
-            ("kind".into(), JsonValue::Str(kind.into())),
-            ("message".into(), JsonValue::Str(message.into())),
-        ]),
-    )])
-    .write_compact(&mut out);
-    out
+    ErrorBody::new(kind, message).to_json()
 }
 
 /// The HTTP status an [`NtcError`] maps to.
@@ -218,7 +283,7 @@ fn status_of(err: &NtcError) -> u16 {
 }
 
 fn err_response(err: &NtcError) -> (u16, String) {
-    (status_of(err), error_body(err.kind(), &err.to_string()))
+    (status_of(err), ErrorBody::from_error(err).to_json())
 }
 
 fn compact(v: &JsonValue) -> String {
@@ -240,21 +305,6 @@ fn check_json(c: &Check) -> JsonValue {
     ])
 }
 
-fn parse_scale(s: Option<&str>) -> Result<Scale, NtcError> {
-    match s {
-        None | Some("quick") => Ok(Scale::Quick),
-        Some("paper") => Ok(Scale::Paper),
-        Some(other) => Err(NtcError::invalid_param(
-            "scale",
-            format!("expected \"quick\" or \"paper\", got \"{other}\""),
-        )),
-    }
-}
-
-fn parse_id(s: &str) -> Result<ExperimentId, NtcError> {
-    s.parse::<ExperimentId>()
-}
-
 fn handle_experiments() -> (u16, String) {
     let entries: Vec<JsonValue> = registry()
         .iter()
@@ -270,16 +320,16 @@ fn handle_experiments() -> (u16, String) {
     (200, compact(&body))
 }
 
-/// `GET /artifact/{id}?scale=...` — the artifact alone, rendered with
-/// [`Artifact::to_json`], i.e. byte-identical to
+/// `GET /v1/artifact/{id}?scale=...` — the artifact alone, rendered
+/// with [`Artifact::to_json`], i.e. byte-identical to
 /// `repro run {id} --format json`. This is what lets a served artifact
 /// be `cmp`'d against `baselines/` or fed to `repro diff` unchanged.
-fn handle_artifact(req: &Request, state: &ServerState) -> (u16, String) {
-    let id = match parse_id(req.path.trim_start_matches("/artifact/")) {
+fn handle_artifact(req: &Request, canon: &str, state: &ServerState) -> (u16, String) {
+    let id = match canon.trim_start_matches("/artifact/").parse::<ExperimentId>() {
         Ok(id) => id,
         Err(e) => return err_response(&e),
     };
-    let scale = match parse_scale(req.query_param("scale")) {
+    let scale = match api::parse_scale(req.query_param("scale")) {
         Ok(s) => s,
         Err(e) => return err_response(&e),
     };
@@ -288,40 +338,21 @@ fn handle_artifact(req: &Request, state: &ServerState) -> (u16, String) {
 }
 
 fn handle_run(req: &Request, state: &ServerState) -> (u16, String) {
-    let body = match parse(&req.body) {
-        Ok(v) => v,
-        Err(e) => return err_response(&NtcError::from(e)),
-    };
-    let id = match body.get("id").and_then(JsonValue::as_str) {
-        Some(s) => match parse_id(s) {
-            Ok(id) => id,
-            Err(e) => return err_response(&e),
-        },
-        None => return err_response(&NtcError::missing_field("id")),
-    };
-    let scale = match parse_scale(body.get("scale").and_then(JsonValue::as_str)) {
-        Ok(s) => s,
+    let parsed = parse(&req.body)
+        .map_err(NtcError::from)
+        .and_then(|v| RunRequest::from_json_value(&v));
+    let run = match parsed {
+        Ok(r) => r,
         Err(e) => return err_response(&e),
     };
-    let seed = match body.get("seed") {
-        None | Some(JsonValue::Null) => state.default_seed,
-        Some(v) => match v.as_num().filter(|s| s.is_finite() && *s >= 0.0 && s.fract() == 0.0) {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            Some(s) => s as u64,
-            None => {
-                return err_response(&NtcError::invalid_param(
-                    "seed",
-                    "expected a non-negative integer",
-                ))
-            }
-        },
-    };
-    let artifact = state.run_memoized(id, scale, seed);
+    let seed = run.seed.unwrap_or(state.default_seed);
+    let artifact = state.run_memoized(run.id, run.scale, seed);
     let checks = artifact.checks();
     let passed = checks.iter().all(Check::passes);
+    #[allow(clippy::cast_precision_loss)]
     let response = JsonValue::Obj(vec![
-        ("id".into(), JsonValue::Str(id.to_string())),
-        ("scale".into(), JsonValue::Str(scale.name().into())),
+        ("id".into(), JsonValue::Str(run.id.to_string())),
+        ("scale".into(), JsonValue::Str(api::scale_str(run.scale).into())),
         ("seed".into(), JsonValue::num(seed as f64)),
         ("artifact".into(), artifact.to_json_value()),
         ("checks".into(), JsonValue::Arr(checks.iter().map(check_json).collect())),
@@ -349,9 +380,11 @@ fn handle_query(req: &Request, state: &ServerState) -> (u16, String) {
     }
     let mut results = Vec::with_capacity(items.len());
     for item in items {
-        let out = Query::from_json(item).and_then(|q| eval(&q, &state.models));
+        // The typed response carries each item's correlation `id`
+        // through, so every entry of a batched result is attributable.
+        let out = QueryRequest::from_json_value(item).and_then(|q| eval(&q, &state.models));
         match out {
-            Ok(v) => results.push(v),
+            Ok(r) => results.push(r.to_json_value()),
             Err(e) => return err_response(&e),
         }
     }
@@ -364,7 +397,23 @@ fn handle_query(req: &Request, state: &ServerState) -> (u16, String) {
     (200, compact(&response))
 }
 
-/// `GET /metrics?format=json|prom` — the full `ntc-obs` snapshot, as
+/// `POST /v1/optimize` — the design-space autotuner. The response is
+/// byte-identical to `repro optimize` for the same request (both render
+/// [`OptimizeResponse::to_json`]) and memoized by the canonical request
+/// hash, so axis enumeration order never causes a recompute.
+fn handle_optimize(req: &Request, state: &ServerState) -> (u16, String) {
+    let parsed = parse(&req.body)
+        .map_err(NtcError::from)
+        .and_then(|v| OptimizeRequest::from_json_value(&v));
+    let opt = match parsed {
+        Ok(r) => r,
+        Err(e) => return err_response(&e),
+    };
+    ntc_obs::counter_add("serve.optimize.requests", 1);
+    (200, state.optimize_memoized(&opt))
+}
+
+/// `GET /v1/metrics?format=json|prom` — the full `ntc-obs` snapshot, as
 /// the deterministic JSON document (default) or Prometheus text
 /// exposition. Both render the same snapshot; only the framing differs.
 fn handle_metrics(req: &Request, state: &ServerState) -> Reply {
@@ -383,6 +432,7 @@ fn handle_metrics(req: &Request, state: &ServerState) -> Reply {
             status: 200,
             content_type: PROM_CONTENT_TYPE,
             body: ntc_obs::metrics_prom(&ntc_obs::metrics_snapshot()),
+            deprecated: false,
         },
         Some(other) => Reply::json(
             400,
@@ -408,10 +458,11 @@ fn snapshot_json(s: &ntc_obs::ProgressSnapshot) -> JsonValue {
     ])
 }
 
-/// `GET /progress` — live sweep progress: the in-process tracker this
-/// server updates while computing `/run`s, plus (when the server is
-/// store-backed) the store-wide fleet view aggregated from every
-/// worker's heartbeat journal — the same view `repro status` renders.
+/// `GET /v1/progress` — live sweep progress: the in-process tracker
+/// this server updates while computing `/v1/run`s, plus (when the
+/// server is store-backed) the store-wide fleet view aggregated from
+/// every worker's heartbeat journal — the same view `repro status`
+/// renders.
 fn handle_progress(state: &ServerState) -> (u16, String) {
     #[allow(clippy::cast_precision_loss)]
     let fleet = state.store.as_ref().map_or(JsonValue::Null, |store| {
@@ -459,32 +510,76 @@ fn handle_progress(state: &ServerState) -> (u16, String) {
     (200, compact(&body))
 }
 
-/// `GET /healthz` — liveness plus the store/format version the build
+/// `GET /v1/healthz` — liveness plus the store/format version the build
 /// keys artifacts on, so load tests and CI can assert which build (and
 /// which on-disk format) they are actually hitting.
 fn healthz_body() -> String {
     format!(r#"{{"ok":true,"version":"{}"}}"#, ntc::store::store_version())
 }
 
-/// Routes one framed request to its handler.
+/// Routes one framed request to its handler. Canonical `/v1` paths and
+/// their unversioned legacy aliases dispatch identically; a reply
+/// served through a legacy alias is flagged [`Reply::deprecated`] so
+/// the response framing adds the `Deprecation` header.
 pub fn handle(req: &Request, state: &ServerState) -> Reply {
-    let (status, body) = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, healthz_body()),
-        ("GET", "/metrics") => return handle_metrics(req, state),
-        ("GET", "/progress") => handle_progress(state),
-        ("GET", "/experiments") => handle_experiments(),
-        ("GET", p) if p.starts_with("/artifact/") => handle_artifact(req, state),
-        ("POST", "/run") => handle_run(req, state),
-        ("POST", "/query") => handle_query(req, state),
-        (_, "/experiments" | "/metrics" | "/healthz" | "/run" | "/query" | "/progress") => {
-            (405, error_body("unsupported", &format!("{} not allowed here", req.method)))
+    let (canon, legacy) = canonical_path(&req.path);
+    let mut known = true;
+    let mut reply = match (req.method.as_str(), canon) {
+        // `/v1/api` was born versioned: no legacy alias exists, so the
+        // unversioned spelling falls through to 404 below.
+        ("GET", "/api") if !legacy => Reply::json(200, compact(&api::api_schema())),
+        ("GET", "/healthz") => Reply::json(200, healthz_body()),
+        ("GET", "/metrics") => handle_metrics(req, state),
+        ("GET", "/progress") => {
+            let (status, body) = handle_progress(state);
+            Reply::json(status, body)
         }
-        (_, p) if p.starts_with("/artifact/") => {
-            (405, error_body("unsupported", &format!("{} not allowed here", req.method)))
+        ("GET", "/experiments") => {
+            let (status, body) = handle_experiments();
+            Reply::json(status, body)
         }
-        (_, p) => (404, error_body("unsupported", &format!("no route for {p}"))),
+        ("GET", p) if p.starts_with("/artifact/") => {
+            let (status, body) = handle_artifact(req, canon, state);
+            Reply::json(status, body)
+        }
+        ("POST", "/run") => {
+            let (status, body) = handle_run(req, state);
+            Reply::json(status, body)
+        }
+        ("POST", "/query") => {
+            let (status, body) = handle_query(req, state);
+            Reply::json(status, body)
+        }
+        ("POST", "/optimize") => {
+            let (status, body) = handle_optimize(req, state);
+            Reply::json(status, body)
+        }
+        (
+            _,
+            "/experiments" | "/metrics" | "/healthz" | "/run" | "/query" | "/progress"
+            | "/optimize",
+        ) => Reply::json(
+            405,
+            error_body("unsupported", &format!("{} not allowed here", req.method)),
+        ),
+        (_, "/api") if !legacy => Reply::json(
+            405,
+            error_body("unsupported", &format!("{} not allowed here", req.method)),
+        ),
+        (_, p) if p.starts_with("/artifact/") => Reply::json(
+            405,
+            error_body("unsupported", &format!("{} not allowed here", req.method)),
+        ),
+        _ => {
+            known = false;
+            Reply::json(404, error_body("unsupported", &format!("no route for {}", req.path)))
+        }
     };
-    Reply::json(status, body)
+    reply.deprecated = legacy && known;
+    if reply.deprecated {
+        ntc_obs::counter_add("serve.deprecated_path", 1);
+    }
+    reply
 }
 
 #[cfg(test)]
@@ -518,7 +613,7 @@ mod tests {
     #[test]
     fn experiments_listing_covers_the_registry() {
         let state = ServerState::new(2014);
-        let (status, body) = call(&get("/experiments"), &state);
+        let (status, body) = call(&get("/v1/experiments"), &state);
         assert_eq!(status, 200);
         let v = parse(&body).unwrap();
         let entries = v.get("experiments").and_then(JsonValue::as_arr).unwrap();
@@ -532,11 +627,44 @@ mod tests {
     #[test]
     fn artifact_endpoint_matches_cli_json_bytes() {
         let state = ServerState::new(2014);
-        let (status, body) = call(&get("/artifact/table2?scale=quick"), &state);
+        let (status, body) = call(&get("/v1/artifact/table2?scale=quick"), &state);
         assert_eq!(status, 200);
         let ctx = RunCtx::builder().quick().build();
         let direct = run_one(find_id(ExperimentId::Table2).as_ref(), &ctx);
         assert_eq!(body, direct.to_json(), "served artifact must be byte-identical");
+    }
+
+    #[test]
+    fn legacy_paths_answer_identically_with_the_deprecation_flag() {
+        let state = ServerState::new(2014);
+        for (canonical, legacy) in
+            [("/v1/healthz", "/healthz"), ("/v1/experiments", "/experiments")]
+        {
+            let v1 = handle(&get(canonical), &state);
+            let shim = handle(&get(legacy), &state);
+            assert_eq!(v1.status, 200);
+            assert_eq!(v1.body, shim.body, "{legacy} must answer byte-identically");
+            assert!(!v1.deprecated, "{canonical} is the canonical spelling");
+            assert!(shim.deprecated, "{legacy} must be flagged deprecated");
+        }
+        // Unknown paths are 404, not "deprecated 404".
+        let missing = handle(&get("/nope"), &state);
+        assert_eq!(missing.status, 404);
+        assert!(!missing.deprecated);
+    }
+
+    #[test]
+    fn api_schema_is_versioned_only() {
+        let state = ServerState::new(2014);
+        let (status, body) = call(&get("/v1/api"), &state);
+        assert_eq!(status, 200);
+        let v = parse(&body).unwrap();
+        assert_eq!(v.get("version").and_then(JsonValue::as_str), Some("v1"));
+        let endpoints = v.get("endpoints").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(endpoints.len(), api::ENDPOINTS.len());
+        // The schema endpoint was born versioned: no unversioned alias.
+        assert_eq!(call(&get("/api"), &state).0, 404);
+        assert_eq!(call(&post("/v1/api", ""), &state).0, 405);
     }
 
     /// Tests asserting on the process-global `serve.run.computed` /
@@ -566,7 +694,7 @@ mod tests {
             ServerState::with_store(2014, Some(scratch_store("zero-compute")), 0);
         let computed = ntc_obs::counter("serve.run.computed");
         let store_hit = ntc_obs::counter("store.hit");
-        let req = post("/run", r#"{"id":"table2","scale":"quick"}"#);
+        let req = post("/v1/run", r#"{"id":"table2","scale":"quick"}"#);
 
         let (status, first) = call(&req, &state);
         assert_eq!(status, 200);
@@ -586,6 +714,75 @@ mod tests {
             hits_after_first + 1,
             "repeat /run is answered by the store"
         );
+    }
+
+    #[test]
+    fn optimize_is_memoized_across_axis_enumeration_orders() {
+        ntc_obs::enable();
+        let state = ServerState::new(2014);
+        let computed = ntc_obs::counter("serve.optimize.computed");
+        let before = computed.get();
+        // Same space, different axis enumeration order: one compute,
+        // two byte-identical answers (one via the legacy shim).
+        let a = post(
+            "/v1/optimize",
+            r#"{"constraints":{"frequency_hz":290e3},
+                "space":{"banks":[2,1],"words":[2048],"cells":["cell_based_aoi"],
+                         "schemes":["ocean"]},"restarts":2}"#,
+        );
+        let b = post(
+            "/optimize",
+            r#"{"constraints":{"frequency_hz":290e3},
+                "space":{"banks":[1,2],"words":[2048],"cells":["cell_based_aoi"],
+                         "schemes":["ocean"]},"restarts":2}"#,
+        );
+        let ra = handle(&a, &state);
+        let rb = handle(&b, &state);
+        assert_eq!(ra.status, 200, "{}", ra.body);
+        assert_eq!(rb.status, 200);
+        assert_eq!(ra.body, rb.body, "axis order must not change the answer");
+        assert_eq!(computed.get(), before + 1, "second call hit the memo");
+        assert!(rb.deprecated, "legacy /optimize carries the deprecation flag");
+        assert!(!ra.deprecated);
+        let resp = OptimizeResponse::from_json(&ra.body).unwrap();
+        assert!(resp.feasible);
+        assert_eq!(resp.best.unwrap().vdd, 0.33, "Table 2 ocean point");
+    }
+
+    #[test]
+    fn optimize_is_served_from_the_store_across_state_rebuilds() {
+        let _g = run_locked();
+        ntc_obs::enable();
+        let dir = std::env::temp_dir()
+            .join(format!("ntc-serve-test-{}-opt-store", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let body = r#"{"constraints":{"frequency_hz":290e3},
+            "space":{"banks":[1],"words":[2048],"cells":["cell_based_aoi"],
+                     "schemes":["ocean"]},"restarts":1}"#;
+        let computed = ntc_obs::counter("serve.optimize.computed");
+
+        let first = {
+            let state = ServerState::with_store(
+                2014,
+                Some(Store::open(&dir).expect("store opens")),
+                0,
+            );
+            call(&post("/v1/optimize", body), &state)
+        };
+        assert_eq!(first.0, 200);
+        let after_first = computed.get();
+
+        // A fresh state over the same store answers from disk.
+        let state = ServerState::with_store(
+            2014,
+            Some(Store::open(&dir).expect("store reopens")),
+            0,
+        );
+        let second = call(&post("/v1/optimize", body), &state);
+        assert_eq!(second.0, 200);
+        assert_eq!(second.1, first.1, "store-served optimize is byte-identical");
+        assert_eq!(computed.get(), after_first, "no recompute through the store");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -623,7 +820,7 @@ mod tests {
     fn run_returns_checks_and_memoizes() {
         let _g = run_locked();
         let state = ServerState::new(2014);
-        let req = post("/run", r#"{"id":"table2","scale":"quick"}"#);
+        let req = post("/v1/run", r#"{"id":"table2","scale":"quick"}"#);
         let (status, first) = call(&req, &state);
         assert_eq!(status, 200);
         let v = parse(&first).unwrap();
@@ -636,7 +833,7 @@ mod tests {
     #[test]
     fn unknown_experiment_is_404_with_the_id_list() {
         let state = ServerState::new(2014);
-        let (status, body) = call(&post("/run", r#"{"id":"fig99"}"#), &state);
+        let (status, body) = call(&post("/v1/run", r#"{"id":"fig99"}"#), &state);
         assert_eq!(status, 404);
         let v = parse(&body).unwrap();
         let err = v.get("error").unwrap();
@@ -648,43 +845,49 @@ mod tests {
     #[test]
     fn malformed_json_is_400_with_kind() {
         let state = ServerState::new(2014);
-        let (status, body) = call(&post("/query", "{not json"), &state);
-        assert_eq!(status, 400);
-        let v = parse(&body).unwrap();
-        assert_eq!(
-            v.get("error").and_then(|e| e.get("kind")).and_then(JsonValue::as_str),
-            Some("malformed_json")
-        );
+        for path in ["/v1/query", "/v1/run", "/v1/optimize"] {
+            let (status, body) = call(&post(path, "{not json"), &state);
+            assert_eq!(status, 400, "{path}");
+            let err = ErrorBody::from_json(&body).expect("structured error");
+            assert_eq!(err.kind, "malformed_json", "{path}");
+        }
     }
 
     #[test]
-    fn batch_queries_return_results_in_order() {
+    fn batch_queries_echo_each_items_id() {
         let state = ServerState::new(2014);
         let req = post(
-            "/query",
-            r#"{"queries":[{"kind":"vmin","scheme":"ocean","frequency_hz":290e3},{"kind":"energy","model":"cots_40nm","vdd":0.55}]}"#,
+            "/v1/query",
+            r#"{"queries":[{"id":"first","kind":"vmin","scheme":"ocean","frequency_hz":290e3},{"id":"second","kind":"energy","model":"cots_40nm","vdd":0.55},{"kind":"ber","law":"access","memory":"cell_based_40nm","vdd":0.4}]}"#,
         );
         let (status, body) = call(&req, &state);
         assert_eq!(status, 200);
         let v = parse(&body).unwrap();
         let results = v.get("results").and_then(JsonValue::as_arr).unwrap();
-        assert_eq!(results.len(), 2);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("id").and_then(JsonValue::as_str), Some("first"));
         assert_eq!(results[0].get("operating").and_then(JsonValue::as_num), Some(0.33));
+        assert_eq!(results[1].get("id").and_then(JsonValue::as_str), Some("second"));
         assert_eq!(results[1].get("kind").and_then(JsonValue::as_str), Some("energy"));
+        // An item that sent no id gets none back — nothing invented.
+        assert_eq!(results[2].get("id"), None);
     }
 
     #[test]
     fn routing_distinguishes_404_and_405() {
         let state = ServerState::new(2014);
         assert_eq!(call(&get("/nope"), &state).0, 404);
+        assert_eq!(call(&get("/v1/nope"), &state).0, 404);
         assert_eq!(call(&get("/run"), &state).0, 405);
+        assert_eq!(call(&get("/v1/run"), &state).0, 405);
+        assert_eq!(call(&get("/v1/optimize"), &state).0, 405);
         assert_eq!(call(&post("/experiments", ""), &state).0, 405);
     }
 
     #[test]
     fn healthz_carries_the_store_version() {
         let state = ServerState::new(2014);
-        let (status, body) = call(&get("/healthz"), &state);
+        let (status, body) = call(&get("/v1/healthz"), &state);
         assert_eq!(status, 200);
         let v = parse(&body).unwrap();
         assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
@@ -701,18 +904,18 @@ mod tests {
         ntc_obs::counter_add("serve.test.handlers_prom", 1);
         let state = ServerState::new(2014);
 
-        let json = handle(&get("/metrics"), &state);
+        let json = handle(&get("/v1/metrics"), &state);
         assert_eq!(json.status, 200);
         assert_eq!(json.content_type, "application/json");
         assert!(parse(&json.body).is_ok(), "JSON exposition parses");
 
-        let prom = handle(&get("/metrics?format=prom"), &state);
+        let prom = handle(&get("/v1/metrics?format=prom"), &state);
         assert_eq!(prom.status, 200);
         assert_eq!(prom.content_type, PROM_CONTENT_TYPE);
         assert!(prom.body.contains("serve_test_handlers_prom_total"));
         assert!(prom.body.contains("# TYPE "));
 
-        let bad = handle(&get("/metrics?format=xml"), &state);
+        let bad = handle(&get("/v1/metrics?format=xml"), &state);
         assert_eq!(bad.status, 400);
         assert!(bad.body.contains("invalid_param"));
     }
@@ -720,14 +923,14 @@ mod tests {
     #[test]
     fn progress_without_a_store_reports_in_process_only() {
         let state = ServerState::new(2014);
-        let (status, body) = call(&get("/progress"), &state);
+        let (status, body) = call(&get("/v1/progress"), &state);
         assert_eq!(status, 200);
         let v = parse(&body).unwrap();
         let p = v.get("progress").expect("in-process snapshot present");
         assert!(p.get("shards_done").and_then(JsonValue::as_num).is_some());
         assert!(p.get("trials_total").and_then(JsonValue::as_num).is_some());
         assert_eq!(v.get("fleet"), Some(&JsonValue::Null), "no store, no fleet view");
-        assert_eq!(call(&post("/progress", ""), &state).0, 405);
+        assert_eq!(call(&post("/v1/progress", ""), &state).0, 405);
     }
 
     #[test]
@@ -737,7 +940,7 @@ mod tests {
         j.shard_done("fig5", 3, 2500, 100.0);
         j.flush();
         let state = ServerState::with_store(2014, Some(store), 4);
-        let (status, body) = call(&get("/progress"), &state);
+        let (status, body) = call(&get("/v1/progress"), &state);
         assert_eq!(status, 200);
         let v = parse(&body).unwrap();
         let fleet = v.get("fleet").expect("store-backed server has a fleet view");
@@ -757,25 +960,31 @@ mod tests {
     fn metrics_exposition_carries_the_progress_gauges() {
         ntc_obs::enable();
         let state = ServerState::new(2014);
-        let prom = handle(&get("/metrics?format=prom"), &state);
+        let prom = handle(&get("/v1/metrics?format=prom"), &state);
         assert_eq!(prom.status, 200);
         assert!(
             prom.body.contains("progress_shards_done"),
             "prometheus exposition carries sweep progress: {}",
             prom.body
         );
-        let json = handle(&get("/metrics"), &state);
+        let json = handle(&get("/v1/metrics"), &state);
         assert!(json.body.contains("progress.eta_secs"));
     }
 
     #[test]
     fn route_labels_are_a_fixed_vocabulary() {
         assert_eq!(route_label("/healthz"), "healthz");
+        assert_eq!(route_label("/v1/healthz"), "healthz");
         assert_eq!(route_label("/metrics"), "metrics");
         assert_eq!(route_label("/experiments"), "experiments");
         assert_eq!(route_label("/run"), "run");
+        assert_eq!(route_label("/v1/run"), "run");
         assert_eq!(route_label("/query"), "query");
+        assert_eq!(route_label("/optimize"), "optimize");
+        assert_eq!(route_label("/v1/optimize"), "optimize");
+        assert_eq!(route_label("/v1/api"), "api");
         assert_eq!(route_label("/artifact/table2"), "artifact");
+        assert_eq!(route_label("/v1/artifact/table2"), "artifact");
         assert_eq!(route_label("/artifact/"), "artifact");
         assert_eq!(route_label("/anything-else"), "other");
         assert_eq!(route_label(""), "other");

@@ -135,18 +135,22 @@ pub fn reason(status: u16) -> &'static str {
 /// the worker can count them, but a dead peer is not fatal to anyone
 /// but itself.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    write_response_full(stream, status, "application/json", None, body)
+    write_response_full(stream, status, "application/json", None, false, body)
 }
 
 /// Writes a complete response with an explicit content type and, when
 /// present, the request's `X-Request-Id` header — the same id the
 /// request's spans and access-log line carry, so a client can join its
-/// own latency sample to the server-side record.
+/// own latency sample to the server-side record. `deprecated` adds a
+/// `Deprecation: true` header — the signal the unversioned legacy
+/// path shims carry so clients can notice they are still on the
+/// pre-`/v1` surface.
 pub fn write_response_full(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     req_id: Option<u64>,
+    deprecated: bool,
     body: &str,
 ) -> std::io::Result<()> {
     let mut head = format!(
@@ -158,6 +162,9 @@ pub fn write_response_full(
     );
     if let Some(id) = req_id {
         head.push_str(&format!("X-Request-Id: {id}\r\n"));
+    }
+    if deprecated {
+        head.push_str("Deprecation: true\r\n");
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;

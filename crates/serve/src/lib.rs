@@ -5,17 +5,23 @@
 //! `(experiment, seed, scale)`; this crate puts a network front on
 //! them so sweeps, dashboards, and scripted regressions can query the
 //! models without paying a process start (and a cold memo table) per
-//! call. Three views are exposed:
+//! call. The surface is versioned under `/v1` (the unversioned
+//! spellings still answer, byte-identically, with a
+//! `Deprecation: true` header; `GET /v1/api` publishes the full
+//! machine-readable endpoint/DTO schema):
 //!
-//! * `GET /experiments` — the registry, with descriptions and paper
-//!   references.
-//! * `POST /run` / `GET /artifact/{id}` — full experiment runs at
-//!   quick or paper scale, with check verdicts; artifact bytes are
+//! * `GET /v1/experiments` — the registry, with descriptions and
+//!   paper references.
+//! * `POST /v1/run` / `GET /v1/artifact/{id}` — full experiment runs
+//!   at quick or paper scale, with check verdicts; artifact bytes are
 //!   identical to `repro run --format json`.
-//! * `POST /query` — fine-grained model queries (BER at a supply
+//! * `POST /v1/query` — fine-grained model queries (BER at a supply
 //!   voltage, Vmin for a scheme and FIT budget, energy at an
 //!   operating point), answered from one process-wide memoized
 //!   [`CachedSoc`](ntc_memcalc::cache::CachedSoc) per model.
+//! * `POST /v1/optimize` — the design-space autotuner, memoized by
+//!   the canonical request hash and byte-identical to
+//!   `repro optimize` for the same request.
 //!
 //! # Architecture
 //!
@@ -285,6 +291,7 @@ fn accept_loop(
                                 503,
                                 "application/json",
                                 Some(job.req_id),
+                                false,
                                 &body,
                             );
                             if let Some(log) = &log {
@@ -416,6 +423,7 @@ fn serve_connection(job: Job, state: &ServerState, deadline: Duration) -> Outcom
             503,
             "application/json",
             Some(req_id),
+            false,
             &body,
         );
         return unframed(503, body.len());
@@ -449,6 +457,7 @@ fn serve_connection(job: Job, state: &ServerState, deadline: Duration) -> Outcom
                 503,
                 "application/json",
                 Some(req_id),
+                false,
                 &body,
             );
             return unframed(503, body.len());
@@ -463,6 +472,7 @@ fn serve_connection(job: Job, state: &ServerState, deadline: Duration) -> Outcom
         reply.status,
         reply.content_type,
         Some(req_id),
+        reply.deprecated,
         &reply.body,
     );
     let route = if path.is_empty() { "unframed" } else { handlers::route_label(&path) };

@@ -1,4 +1,4 @@
-//! Typed model queries: the fine-grained lookups `/query` answers.
+//! Typed model queries: the fine-grained lookups `/v1/query` answers.
 //!
 //! These are the paper's core artifacts exposed as parameterized
 //! point queries rather than whole-experiment runs:
@@ -11,270 +11,27 @@
 //! * **`energy`** — the energy/power breakdown of an SoC model at an
 //!   operating point (Fig. 1's curves, pointwise).
 //!
-//! Requests parse from JSON into [`Query`] — every schema problem is
-//! an [`NtcError`] naming the offending field — and evaluate against
-//! [`Models`], the server's shared [`CachedSoc`] instances, so
-//! repeated voltage lookups hit the quantized memo instead of
-//! re-walking the model.
+//! The wire model lives in [`ntc::api`](ntc::api): requests parse into
+//! [`QueryRequest`] (every schema problem is an
+//! [`NtcError`] naming the offending field) and evaluate against
+//! [`Models`], the server's shared [`CachedSoc`] instances, so repeated
+//! voltage lookups hit the quantized memo instead of re-walking the
+//! model. [`eval`] returns the typed [`QueryResponse`], carrying the
+//! request's correlation `id` through to the response item — which is
+//! how batched `/v1/query` responses stay attributable per item.
 
-use ntc::artifact::json::JsonValue;
+use ntc::api::{EnergyModel, LawKind, Memory, QueryKind, QueryRequest, QueryResponse};
 use ntc::error::NtcError;
-use ntc::fit::{FitSolver, Scheme, VoltageGrid};
+use ntc::fit::FitSolver;
 use ntc_memcalc::cache::CachedSoc;
 use ntc_sram::failure::{AccessLaw, RetentionLaw};
-
-/// Which failure law family a BER query reads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LawKind {
-    /// Eq. 5: access errors vs supply.
-    Access,
-    /// Eq. 4: retention errors vs supply.
-    Retention,
-}
-
-/// Which characterized memory a BER query targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Memory {
-    /// The commercial 40 nm macro.
-    Commercial40,
-    /// The cell-based 40 nm macro.
-    CellBased40,
-    /// The cell-based 65 nm macro (retention law only).
-    CellBased65,
-}
-
-impl Memory {
-    fn as_str(self) -> &'static str {
-        match self {
-            Memory::Commercial40 => "commercial_40nm",
-            Memory::CellBased40 => "cell_based_40nm",
-            Memory::CellBased65 => "cell_based_65nm",
-        }
-    }
-}
-
-/// Which SoC energy model an energy query evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EnergyModel {
-    /// COTS-memory 40 nm signal processor (Fig. 1 upper curve).
-    Cots40,
-    /// Cell-based-memory variant (Fig. 1 lower curve).
-    CellBased40,
-}
-
-impl EnergyModel {
-    fn as_str(self) -> &'static str {
-        match self {
-            EnergyModel::Cots40 => "cots_40nm",
-            EnergyModel::CellBased40 => "cell_based_40nm",
-        }
-    }
-}
-
-/// One parsed `/query` request.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Query {
-    /// Bit error rate at a voltage.
-    Ber {
-        /// Law family (Eq. 4 or Eq. 5).
-        law: LawKind,
-        /// Which memory's calibration.
-        memory: Memory,
-        /// Supply voltage, volts.
-        vdd: f64,
-    },
-    /// Minimum supply for a scheme under a FIT budget.
-    Vmin {
-        /// Mitigation scheme.
-        scheme: Scheme,
-        /// Which memory's access law constrains errors.
-        memory: Memory,
-        /// FIT budget per transaction.
-        fit_target: f64,
-        /// Required clock, if performance-constrained.
-        frequency_hz: Option<f64>,
-        /// Voltage grid for the reported operating point.
-        grid: VoltageGrid,
-    },
-    /// Energy/power breakdown at an operating point.
-    Energy {
-        /// Which SoC model.
-        model: EnergyModel,
-        /// Supply voltage, volts.
-        vdd: f64,
-        /// Clock to evaluate at (defaults to `f_max(vdd)`).
-        frequency_hz: Option<f64>,
-    },
-}
-
-fn str_field<'a>(obj: &'a JsonValue, field: &str) -> Result<&'a str, NtcError> {
-    match obj.get(field) {
-        None => Err(NtcError::missing_field(field)),
-        Some(v) => v
-            .as_str()
-            .ok_or_else(|| NtcError::invalid_param(field, "expected a string")),
-    }
-}
-
-fn num_field(obj: &JsonValue, field: &str) -> Result<f64, NtcError> {
-    match obj.get(field) {
-        None => Err(NtcError::missing_field(field)),
-        Some(v) => v
-            .as_num()
-            .filter(|v| v.is_finite())
-            .ok_or_else(|| NtcError::invalid_param(field, "expected a finite number")),
-    }
-}
-
-fn optional_num(obj: &JsonValue, field: &str) -> Result<Option<f64>, NtcError> {
-    match obj.get(field) {
-        None | Some(JsonValue::Null) => Ok(None),
-        Some(v) => v
-            .as_num()
-            .filter(|v| v.is_finite())
-            .map(Some)
-            .ok_or_else(|| NtcError::invalid_param(field, "expected a finite number")),
-    }
-}
-
-fn positive(field: &str, v: f64) -> Result<f64, NtcError> {
-    if v > 0.0 {
-        Ok(v)
-    } else {
-        Err(NtcError::invalid_param(field, format!("must be positive, got {v}")))
-    }
-}
-
-fn parse_memory(s: &str, field: &str) -> Result<Memory, NtcError> {
-    match s {
-        "commercial_40nm" => Ok(Memory::Commercial40),
-        "cell_based_40nm" => Ok(Memory::CellBased40),
-        "cell_based_65nm" => Ok(Memory::CellBased65),
-        other => Err(NtcError::invalid_param(
-            field,
-            format!("unknown memory `{other}` — one of commercial_40nm, cell_based_40nm, cell_based_65nm"),
-        )),
-    }
-}
-
-fn parse_scheme(s: &str) -> Result<Scheme, NtcError> {
-    match s {
-        "no_mitigation" => Ok(Scheme::NoMitigation),
-        "secded" | "ecc" => Ok(Scheme::Secded),
-        "ocean" => Ok(Scheme::Ocean),
-        other => Err(NtcError::invalid_param(
-            "scheme",
-            format!("unknown scheme `{other}` — one of no_mitigation, secded, ocean"),
-        )),
-    }
-}
-
-fn scheme_str(s: Scheme) -> &'static str {
-    match s {
-        Scheme::NoMitigation => "no_mitigation",
-        Scheme::Secded => "secded",
-        Scheme::Ocean => "ocean",
-    }
-}
-
-impl Query {
-    /// Parses one query object (already-parsed JSON).
-    pub fn from_json(v: &JsonValue) -> Result<Query, NtcError> {
-        if !matches!(v, JsonValue::Obj(_)) {
-            return Err(NtcError::invalid_param("query", "expected a JSON object"));
-        }
-        match str_field(v, "kind")? {
-            "ber" => {
-                let law = match str_field(v, "law")? {
-                    "access" => LawKind::Access,
-                    "retention" => LawKind::Retention,
-                    other => {
-                        return Err(NtcError::invalid_param(
-                            "law",
-                            format!("unknown law `{other}` — one of access, retention"),
-                        ))
-                    }
-                };
-                let memory = parse_memory(str_field(v, "memory")?, "memory")?;
-                if law == LawKind::Access && memory == Memory::CellBased65 {
-                    return Err(NtcError::invalid_param(
-                        "memory",
-                        "no access law is characterized for cell_based_65nm (retention only)",
-                    ));
-                }
-                let vdd = positive("vdd", num_field(v, "vdd")?)?;
-                Ok(Query::Ber { law, memory, vdd })
-            }
-            "vmin" => {
-                let scheme = parse_scheme(str_field(v, "scheme")?)?;
-                let memory = match v.get("memory") {
-                    None => Memory::CellBased40,
-                    Some(_) => parse_memory(str_field(v, "memory")?, "memory")?,
-                };
-                if memory == Memory::CellBased65 {
-                    return Err(NtcError::invalid_param(
-                        "memory",
-                        "vmin solves against an access law; cell_based_65nm has none",
-                    ));
-                }
-                let fit_target = match optional_num(v, "fit_target")? {
-                    None => 1e-15,
-                    Some(t) if t > 0.0 && t < 1.0 => t,
-                    Some(t) => {
-                        return Err(NtcError::invalid_param(
-                            "fit_target",
-                            format!("must be in (0, 1), got {t}"),
-                        ))
-                    }
-                };
-                let frequency_hz = match optional_num(v, "frequency_hz")? {
-                    None => None,
-                    Some(f) => Some(positive("frequency_hz", f)?),
-                };
-                let grid = match v.get("grid").map(|g| g.as_str()) {
-                    None => VoltageGrid::PaperGrid,
-                    Some(Some("paper")) => VoltageGrid::PaperGrid,
-                    Some(Some("exact")) => VoltageGrid::Exact,
-                    Some(other) => {
-                        return Err(NtcError::invalid_param(
-                            "grid",
-                            format!("expected \"paper\" or \"exact\", got {other:?}"),
-                        ))
-                    }
-                };
-                Ok(Query::Vmin { scheme, memory, fit_target, frequency_hz, grid })
-            }
-            "energy" => {
-                let model = match str_field(v, "model")? {
-                    "cots_40nm" => EnergyModel::Cots40,
-                    "cell_based_40nm" => EnergyModel::CellBased40,
-                    other => {
-                        return Err(NtcError::invalid_param(
-                            "model",
-                            format!("unknown model `{other}` — one of cots_40nm, cell_based_40nm"),
-                        ))
-                    }
-                };
-                let vdd = positive("vdd", num_field(v, "vdd")?)?;
-                let frequency_hz = match optional_num(v, "frequency_hz")? {
-                    None => None,
-                    Some(f) => Some(positive("frequency_hz", f)?),
-                };
-                Ok(Query::Energy { model, vdd, frequency_hz })
-            }
-            other => Err(NtcError::Unsupported {
-                what: format!("query kind `{other}` — one of ber, vmin, energy"),
-            }),
-        }
-    }
-}
 
 /// The shared memoized models queries evaluate against.
 ///
 /// One instance lives in the server state; every worker shard reads
 /// through it, so a voltage any client asked about before is answered
 /// from the quantized memo (`memcalc.cache.*` counters tick either
-/// way, and `GET /metrics` publishes the derived hit rates).
+/// way, and `GET /v1/metrics` publishes the derived hit rates).
 #[derive(Debug)]
 pub struct Models {
     /// The Table 2 platform timing model (f_max for `vmin`).
@@ -308,21 +65,23 @@ impl Models {
     }
 }
 
-/// Evaluates a parsed query. Pure given the models' underlying
+/// Evaluates a parsed query into its typed response, echoing the
+/// request's correlation `id`. Pure given the models' underlying
 /// parameters: equal queries produce equal JSON, bit for bit, from any
 /// worker shard — the memo table only changes *when* the model is
 /// walked, never what it returns.
-pub fn eval(query: &Query, models: &Models) -> Result<JsonValue, NtcError> {
-    match *query {
-        Query::Ber { law, memory, vdd } => {
-            let (p, law_name) = match law {
+pub fn eval(query: &QueryRequest, models: &Models) -> Result<QueryResponse, NtcError> {
+    let id = query.id.clone();
+    match query.kind {
+        QueryKind::Ber { law, memory, vdd } => {
+            let p = match law {
                 LawKind::Access => {
                     let l = match memory {
                         Memory::Commercial40 => AccessLaw::commercial_40nm(),
                         Memory::CellBased40 => AccessLaw::cell_based_40nm(),
                         Memory::CellBased65 => unreachable!("rejected at parse"),
                     };
-                    (l.p_bit(vdd), "access")
+                    l.p_bit(vdd)
                 }
                 LawKind::Retention => {
                     let l = match memory {
@@ -330,40 +89,25 @@ pub fn eval(query: &Query, models: &Models) -> Result<JsonValue, NtcError> {
                         Memory::CellBased40 => RetentionLaw::cell_based_40nm(),
                         Memory::CellBased65 => RetentionLaw::cell_based_65nm(),
                     };
-                    (l.p_bit(vdd), "retention")
+                    l.p_bit(vdd)
                 }
             };
-            Ok(JsonValue::Obj(vec![
-                ("kind".into(), JsonValue::Str("ber".into())),
-                ("law".into(), JsonValue::Str(law_name.into())),
-                ("memory".into(), JsonValue::Str(memory.as_str().into())),
-                ("vdd".into(), JsonValue::num(vdd)),
-                ("p_bit".into(), JsonValue::num(p)),
-            ]))
+            Ok(QueryResponse::Ber { id, law, memory, vdd, p_bit: p })
         }
-        Query::Vmin { scheme, memory, fit_target, frequency_hz, grid } => {
+        QueryKind::Vmin { scheme, memory, fit_target, frequency_hz, grid } => {
             let law = match memory {
                 Memory::Commercial40 => AccessLaw::commercial_40nm(),
                 Memory::CellBased40 => AccessLaw::cell_based_40nm(),
                 Memory::CellBased65 => unreachable!("rejected at parse"),
             };
             let solver = FitSolver::new(law, fit_target).with_grid(grid);
-            let mut fields = vec![
-                ("kind".into(), JsonValue::Str("vmin".into())),
-                ("scheme".into(), JsonValue::Str(scheme_str(scheme).into())),
-                ("memory".into(), JsonValue::Str(memory.as_str().into())),
-                ("fit_target".into(), JsonValue::num(fit_target)),
-                ("max_p_bit".into(), JsonValue::num(solver.max_p_bit(scheme))),
-            ];
-            match frequency_hz {
-                None => {
-                    fields.push((
-                        "error_constrained".into(),
-                        JsonValue::num(solver.error_constrained_voltage(scheme)),
-                    ));
-                    fields.push(("performance_constrained".into(), JsonValue::Null));
-                    fields.push(("operating".into(), JsonValue::num(solver.min_voltage(scheme))));
-                }
+            let max_p_bit = solver.max_p_bit(scheme);
+            let (error_constrained, performance_constrained, operating) = match frequency_hz {
+                None => (
+                    solver.error_constrained_voltage(scheme),
+                    None,
+                    solver.min_voltage(scheme),
+                ),
                 Some(f) => {
                     // The solver panics on unreachable frequencies; turn
                     // that into a client error before calling it.
@@ -374,21 +118,22 @@ pub fn eval(query: &Query, models: &Models) -> Result<JsonValue, NtcError> {
                         ));
                     }
                     let solved = solver.solve(scheme, f, |v| models.platform.f_max(v));
-                    fields.push(("frequency_hz".into(), JsonValue::num(f)));
-                    fields.push((
-                        "error_constrained".into(),
-                        JsonValue::num(solved.error_constrained),
-                    ));
-                    fields.push((
-                        "performance_constrained".into(),
-                        solved.performance_constrained.map_or(JsonValue::Null, JsonValue::num),
-                    ));
-                    fields.push(("operating".into(), JsonValue::num(solved.operating)));
+                    (solved.error_constrained, solved.performance_constrained, solved.operating)
                 }
-            }
-            Ok(JsonValue::Obj(fields))
+            };
+            Ok(QueryResponse::Vmin {
+                id,
+                scheme,
+                memory,
+                fit_target,
+                max_p_bit,
+                frequency_hz,
+                error_constrained,
+                performance_constrained,
+                operating,
+            })
         }
-        Query::Energy { model, vdd, frequency_hz } => {
+        QueryKind::Energy { model, vdd, frequency_hz } => {
             let cached = match model {
                 EnergyModel::Cots40 => &models.cots,
                 EnergyModel::CellBased40 => &models.cell,
@@ -407,17 +152,17 @@ pub fn eval(query: &Query, models: &Models) -> Result<JsonValue, NtcError> {
                     cached.model().operating_point_at(vdd, f)
                 }
             };
-            Ok(JsonValue::Obj(vec![
-                ("kind".into(), JsonValue::Str("energy".into())),
-                ("model".into(), JsonValue::Str(model.as_str().into())),
-                ("vdd".into(), JsonValue::num(vdd)),
-                ("f_max_hz".into(), JsonValue::num(f_max)),
-                ("energy_per_cycle_j".into(), JsonValue::num(energy_per_cycle)),
-                ("total_j".into(), JsonValue::num(point.total_j())),
-                ("dynamic_j".into(), JsonValue::num(point.dynamic_j())),
-                ("leakage_j".into(), JsonValue::num(point.leakage_j())),
-                ("power_w".into(), JsonValue::num(point.power_w())),
-            ]))
+            Ok(QueryResponse::Energy {
+                id,
+                model,
+                vdd,
+                f_max_hz: f_max,
+                energy_per_cycle_j: energy_per_cycle,
+                total_j: point.total_j(),
+                dynamic_j: point.dynamic_j(),
+                leakage_j: point.leakage_j(),
+                power_w: point.power_w(),
+            })
         }
     }
 }
@@ -425,20 +170,23 @@ pub fn eval(query: &Query, models: &Models) -> Result<JsonValue, NtcError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ntc::artifact::json::parse;
+    use ntc::artifact::json::{parse, JsonValue};
 
     fn models() -> Models {
         Models::paper()
     }
 
-    fn q(text: &str) -> Result<Query, NtcError> {
-        Query::from_json(&parse(text).expect("test JSON parses"))
+    fn q(text: &str) -> Result<QueryRequest, NtcError> {
+        QueryRequest::from_json_value(&parse(text).expect("test JSON parses"))
+    }
+
+    fn eval_json(text: &str) -> Result<JsonValue, NtcError> {
+        q(text).and_then(|query| eval(&query, &models())).map(|r| r.to_json_value())
     }
 
     #[test]
     fn vmin_reproduces_table2_ocean_cell() {
-        let query = q(r#"{"kind":"vmin","scheme":"ocean","frequency_hz":290e3}"#).unwrap();
-        let out = eval(&query, &models()).unwrap();
+        let out = eval_json(r#"{"kind":"vmin","scheme":"ocean","frequency_hz":290e3}"#).unwrap();
         assert_eq!(out.get("operating").and_then(JsonValue::as_num), Some(0.33));
         // Defaults echoed back.
         assert_eq!(out.get("fit_target").and_then(JsonValue::as_num), Some(1e-15));
@@ -447,19 +195,33 @@ mod tests {
 
     #[test]
     fn vmin_without_frequency_matches_solver_min_voltage() {
-        let query = q(r#"{"kind":"vmin","scheme":"secded"}"#).unwrap();
-        let out = eval(&query, &models()).unwrap();
+        let out = eval_json(r#"{"kind":"vmin","scheme":"secded"}"#).unwrap();
         assert_eq!(out.get("operating").and_then(JsonValue::as_num), Some(0.44));
         assert_eq!(out.get("performance_constrained"), Some(&JsonValue::Null));
     }
 
     #[test]
     fn ber_matches_the_law_directly() {
-        let query =
-            q(r#"{"kind":"ber","law":"access","memory":"cell_based_40nm","vdd":0.4}"#).unwrap();
-        let out = eval(&query, &models()).unwrap();
+        let out =
+            eval_json(r#"{"kind":"ber","law":"access","memory":"cell_based_40nm","vdd":0.4}"#)
+                .unwrap();
         let want = AccessLaw::cell_based_40nm().p_bit(0.4);
         assert_eq!(out.get("p_bit").and_then(JsonValue::as_num), Some(want));
+    }
+
+    #[test]
+    fn request_id_is_echoed_through_eval() {
+        let out = eval_json(
+            r#"{"id":"probe-3","kind":"ber","law":"retention","memory":"cell_based_65nm","vdd":0.31}"#,
+        )
+        .unwrap();
+        assert_eq!(out.get("id").and_then(JsonValue::as_str), Some("probe-3"));
+        // And first in the serialized field order, so clients see the
+        // correlation id before the payload.
+        match out {
+            JsonValue::Obj(fields) => assert_eq!(fields[0].0, "id"),
+            other => panic!("expected object, got {other:?}"),
+        }
     }
 
     #[test]
@@ -468,11 +230,7 @@ mod tests {
         let query = q(r#"{"kind":"energy","model":"cots_40nm","vdd":0.55}"#).unwrap();
         let a = eval(&query, &m).unwrap();
         let b = eval(&query, &m).unwrap();
-        let mut sa = String::new();
-        let mut sb = String::new();
-        a.write_compact(&mut sa);
-        b.write_compact(&mut sb);
-        assert_eq!(sa, sb, "repeat query byte-identical");
+        assert_eq!(a, b, "repeat query identical");
         assert!(m.cache_stats().hits >= 2, "second evaluation hit the memo");
     }
 

@@ -479,3 +479,151 @@ fn store_backed_server_survives_restart_with_identical_answers() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn v1_paths_are_canonical_and_legacy_shims_carry_deprecation() {
+    let server = quick_server();
+    let addr = server.addr();
+    for (canonical, legacy) in [
+        ("/v1/healthz", "/healthz"),
+        ("/v1/experiments", "/experiments"),
+        ("/v1/metrics", "/metrics"),
+        ("/v1/progress", "/progress"),
+    ] {
+        let v1 = get(addr, canonical);
+        let shim = get(addr, legacy);
+        assert_eq!(v1.status, 200, "{canonical}");
+        assert_eq!(shim.status, 200, "{legacy}");
+        assert_eq!(
+            v1.header("Deprecation"),
+            None,
+            "{canonical} is canonical, no Deprecation header"
+        );
+        assert_eq!(
+            shim.header("Deprecation"),
+            Some("true"),
+            "{legacy} is a deprecated shim"
+        );
+    }
+    // Same answer through both spellings, byte for byte.
+    let v1 = post(addr, "/v1/query", r#"{"kind":"vmin","scheme":"ocean","frequency_hz":290e3}"#);
+    let shim = post(addr, "/query", r#"{"kind":"vmin","scheme":"ocean","frequency_hz":290e3}"#);
+    assert_eq!(v1.status, 200);
+    assert_eq!(v1.body, shim.body, "shim answers byte-identically");
+    assert_eq!(shim.header("Deprecation"), Some("true"));
+    // Unknown paths are plain 404s, never "deprecated 404".
+    let missing = get(addr, "/nope");
+    assert_eq!(missing.status, 404);
+    assert_eq!(missing.header("Deprecation"), None);
+    server.shutdown();
+}
+
+#[test]
+fn api_endpoint_publishes_the_machine_readable_schema() {
+    let server = quick_server();
+    let addr = server.addr();
+    let got = get(addr, "/v1/api");
+    assert_eq!(got.status, 200);
+    let v = parse(&got.body).expect("schema parses");
+    assert_eq!(v.get("version").and_then(JsonValue::as_str), Some("v1"));
+    let endpoints = v.get("endpoints").and_then(JsonValue::as_arr).expect("endpoints array");
+    assert_eq!(endpoints.len(), ntc::api::ENDPOINTS.len());
+    // Every row names method, path, request/response DTOs; the listed
+    // paths cover the routes this very test file exercises.
+    let paths: Vec<String> = endpoints
+        .iter()
+        .filter_map(|e| e.get("path").and_then(JsonValue::as_str).map(str::to_string))
+        .collect();
+    for must in ["/v1/api", "/v1/run", "/v1/query", "/v1/optimize", "/v1/artifact/{id}"] {
+        assert!(paths.iter().any(|p| p == must), "{must} missing from {paths:?}");
+    }
+    let optimize = endpoints
+        .iter()
+        .find(|e| e.get("path").and_then(JsonValue::as_str) == Some("/v1/optimize"))
+        .expect("optimize row");
+    assert_eq!(optimize.get("method").and_then(JsonValue::as_str), Some("POST"));
+    assert_eq!(
+        optimize.get("request").and_then(JsonValue::as_str),
+        Some("OptimizeRequest")
+    );
+    assert_eq!(optimize.get("legacy").and_then(JsonValue::as_str), Some("/optimize"));
+    // DTO field lists ride along, so clients can introspect shapes.
+    let dtos = v.get("dtos").expect("dtos present");
+    assert!(dtos.get("OptimizeRequest").is_some());
+    assert!(dtos.get("ErrorBody").is_some());
+    // The schema endpoint was born versioned: no unversioned alias.
+    assert_eq!(get(addr, "/api").status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn optimize_over_the_wire_matches_the_library_byte_for_byte() {
+    ntc_obs::enable();
+    let server = quick_server();
+    let addr = server.addr();
+    // A small sub-space keeps the e2e search fast; determinism is what
+    // is under test, not coverage of the paper grid.
+    let body = r#"{"constraints":{"frequency_hz":1.96e6},
+        "space":{"banks":[1,2],"words":[2048],"cells":["cell_based_aoi"],
+                 "schemes":["secded","ocean"]},"restarts":2}"#;
+    let served = post(addr, "/v1/optimize", body);
+    assert_eq!(served.status, 200, "{}", served.body);
+    assert_eq!(served.header("Deprecation"), None);
+
+    let req = ntc::api::OptimizeRequest::from_json(body).expect("request parses");
+    let direct = ntc::optimize::optimize(&req).to_json();
+    assert_eq!(served.body, direct, "POST /v1/optimize == repro optimize bytes");
+
+    // Memoized repeat (and the legacy shim) answer identically.
+    let again = post(addr, "/optimize", body);
+    assert_eq!(again.status, 200);
+    assert_eq!(again.body, served.body);
+    assert_eq!(again.header("Deprecation"), Some("true"));
+
+    let resp = ntc::api::OptimizeResponse::from_json(&served.body).expect("response parses");
+    assert!(resp.feasible);
+    assert_eq!(resp.request_hash, req.request_hash_hex());
+    server.shutdown();
+}
+
+#[test]
+fn every_endpoint_speaks_the_structured_error_body() {
+    let server = quick_server();
+    let addr = server.addr();
+    // (response, expected status, expected kind) — one probe per
+    // endpoint, every failure mode answered with the same
+    // {"error":{kind,message}} shape the shared DTO parses back.
+    let cases: Vec<(Response, u16, &str)> = vec![
+        (post(addr, "/v1/run", "{not json"), 400, "malformed_json"),
+        (post(addr, "/v1/query", "{not json"), 400, "malformed_json"),
+        (post(addr, "/v1/optimize", "{not json"), 400, "malformed_json"),
+        (post(addr, "/v1/run", r#"{"id":"fig99"}"#), 404, "unknown_experiment"),
+        (get(addr, "/v1/artifact/fig99"), 404, "unknown_experiment"),
+        (
+            post(addr, "/v1/query", r#"{"kind":"vmin","scheme":"ocean","fit_target":7.0}"#),
+            400,
+            "invalid_param",
+        ),
+        (
+            post(
+                addr,
+                "/v1/optimize",
+                r#"{"constraints":{"frequency_hz":-5.0},"space":{"banks":[1],"words":[2048],"cells":["cell_based_aoi"],"schemes":["ocean"]}}"#,
+            ),
+            400,
+            "invalid_param",
+        ),
+        (post(addr, "/v1/query", r#"{"law":"access"}"#), 400, "missing_field"),
+        (get(addr, "/v1/metrics?format=xml"), 400, "invalid_param"),
+        (post(addr, "/v1/experiments", ""), 405, "unsupported"),
+        (get(addr, "/v1/nope"), 404, "unsupported"),
+    ];
+    for (resp, status, kind) in cases {
+        assert_eq!(resp.status, status, "{}", resp.body);
+        let err = ntc::api::ErrorBody::from_json(&resp.body)
+            .unwrap_or_else(|e| panic!("unstructured error body ({e}): {}", resp.body));
+        assert_eq!(err.kind, kind, "{}", resp.body);
+        assert!(!err.message.is_empty(), "error message must not be empty");
+    }
+    server.shutdown();
+}

@@ -20,6 +20,10 @@
 //! * [`mc`] — Monte-Carlo bookkeeping: streaming mean/variance, rare-event
 //!   counters, percentiles; [`mc::tilted`] adds the exponential-tilt
 //!   importance sampler that reaches the 1e-12…1e-15 regime directly.
+//! * [`opt`] — deterministic constrained minimization: coordinate descent
+//!   with seeded restarts over discrete axes plus golden-section
+//!   refinement of one continuous axis, merged in restart order so the
+//!   winner is bit-identical at any thread count.
 //! * [`batch`] — structure-of-arrays block kernels: block fills, exact
 //!   integer-domain threshold tests and counter-based lane generation, so
 //!   the Monte-Carlo hot loop auto-vectorizes while staying bit-identical
@@ -68,6 +72,7 @@ pub mod fit;
 pub mod hist;
 pub mod math;
 pub mod mc;
+pub mod opt;
 pub mod rng;
 pub mod sweep;
 
